@@ -1,0 +1,78 @@
+"""PERF-3 — access-control enforcement throughput (decisions per second).
+
+End-to-end measurement of the system the paper describes in its problem
+statement: requests are intercepted, the stored rules are looked up, and each
+access condition is evaluated as a reachability query.  A fixed workload
+(synthetic scale-free graph, scenario-based rules, a stream of random
+requests) is replayed through the AccessControlEngine on every backend and
+the decision throughput is reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.policy import AccessControlEngine, PolicyStore
+from repro.reachability import available_backends
+from repro.workloads.generator import WorkloadSpec, build_workload
+from repro.workloads.metrics import MetricSeries, Timer
+
+_SERIES = MetricSeries(
+    "PERF-3 — enforcement throughput per backend",
+    ["backend", "users", "rules", "requests", "decisions_per_second", "grant_rate"],
+)
+
+SPEC = WorkloadSpec(users=300, owners=8, rules_per_owner=2, requests=120, seed=91)
+_WORKLOAD = None
+_ENGINES = {}
+
+
+def _workload():
+    global _WORKLOAD
+    if _WORKLOAD is None:
+        _WORKLOAD = build_workload(SPEC)
+    return _WORKLOAD
+
+
+def _engine(backend):
+    if backend not in _ENGINES:
+        workload = _workload()
+        store = PolicyStore()
+        for resource_id, owner, expressions in workload.resources:
+            store.share(owner, resource_id)
+            store.allow(resource_id, list(expressions))
+        _ENGINES[backend] = AccessControlEngine(workload.graph, store, backend=backend)
+    return _ENGINES[backend]
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_enforcement_throughput(benchmark, backend):
+    workload = _workload()
+    engine = _engine(backend)
+
+    def replay():
+        grants = 0
+        for requester, resource_id in workload.requests:
+            if engine.is_allowed(requester, resource_id):
+                grants += 1
+        return grants
+
+    grants = benchmark.pedantic(replay, rounds=3, iterations=1)
+    with Timer() as timer:
+        replay()
+    _SERIES.add(
+        backend=backend,
+        users=workload.graph.number_of_users(),
+        rules=len(workload.resources),
+        requests=len(workload.requests),
+        decisions_per_second=len(workload.requests) / timer.elapsed if timer.elapsed else float("inf"),
+        grant_rate=round(grants / len(workload.requests), 3),
+    )
+    assert 0 <= grants <= len(workload.requests)
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_table("perf3_access_throughput", _SERIES.to_table())
+    assert len(_SERIES.rows) == len(available_backends())

@@ -1,0 +1,144 @@
+"""PERF-5 — comparison against the Carminati et al. rule-based baseline.
+
+The related-work section positions the paper against Carminati, Ferrari &
+Perego's model (single relationship type, maximum depth, minimum trust).
+Two aspects are measured on the same workload:
+
+* **decision cost** — the baseline evaluates a bounded single-label BFS,
+  the reachability model evaluates a full path expression; both are timed;
+* **expressiveness** — for each scenario of the paper we report whether any
+  (relationship, depth) baseline rule reproduces the same audience; the
+  multi-relationship / ordered / attribute-filtered scenarios cannot be
+  expressed, which is the qualitative gap the paper claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.graph.generators import preferential_attachment_graph
+from repro.policy import AccessControlEngine, CarminatiEngine, CarminatiRule, PolicyStore
+from repro.workloads.metrics import MetricSeries, Timer
+from repro.workloads.scenarios import SCENARIOS
+
+_GRAPH = None
+_LATENCY = MetricSeries(
+    "PERF-5a — decision latency: reachability model vs depth+trust baseline",
+    ["model", "policy", "requests", "mean_latency_ms"],
+)
+_EXPRESSIVENESS = MetricSeries(
+    "PERF-5b — can a single (relationship, depth) baseline rule express the scenario?",
+    ["scenario", "expressions", "baseline_equivalent"],
+)
+
+
+def _graph():
+    global _GRAPH
+    if _GRAPH is None:
+        _GRAPH = preferential_attachment_graph(200, edges_per_node=3, seed=55)
+    return _GRAPH
+
+
+def _owner(graph):
+    return max(graph.users(), key=lambda user: graph.out_degree(user, "friend"))
+
+
+def test_reachability_model_decision_latency(benchmark):
+    graph = _graph()
+    owner = _owner(graph)
+    store = PolicyStore()
+    store.share(owner, "res")
+    store.allow("res", "friend+[1,2]")
+    engine = AccessControlEngine(graph, store)
+    requesters = sorted(graph.users())[:50]
+
+    def run():
+        return sum(engine.is_allowed(requester, "res") for requester in requesters)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    with Timer() as timer:
+        run()
+    _LATENCY.add(model="reachability (this paper)", policy="friend+[1,2]",
+                 requests=len(requesters), mean_latency_ms=1000.0 * timer.elapsed / len(requesters))
+
+
+def test_carminati_baseline_decision_latency(benchmark):
+    graph = _graph()
+    owner = _owner(graph)
+    engine = CarminatiEngine(graph)
+    engine.add_rule(CarminatiRule("res", owner, "friend", max_depth=2))
+    requesters = sorted(graph.users())[:50]
+
+    def run():
+        return sum(engine.is_allowed(requester, "res") for requester in requesters)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    with Timer() as timer:
+        run()
+    _LATENCY.add(model="Carminati et al. (depth+trust)", policy="friend, depth<=2",
+                 requests=len(requesters), mean_latency_ms=1000.0 * timer.elapsed / len(requesters))
+
+
+def test_expressiveness_comparison(benchmark):
+    """For each scenario, check whether a single (relationship, depth) baseline
+    rule reproduces the same audience for *every* owner of the example graph.
+
+    Owners are all seven users of Figure 1, so degenerate cases (an owner
+    without children, say) cannot make an inexpressible policy look
+    expressible by accident.
+    """
+    from repro.datasets.paper_graph import paper_graph
+
+    graph = paper_graph()
+    owners = sorted(graph.users())
+
+    def analyse():
+        rows = []
+        for scenario in SCENARIOS.values():
+            expressible_for = 0
+            for owner in owners:
+                store = PolicyStore()
+                store.share(owner, "res")
+                store.allow("res", list(scenario.expressions), combination=scenario.combination)
+                audience = frozenset(AccessControlEngine(graph, store).authorized_audience("res"))
+                found = False
+                for relationship in graph.labels():
+                    for depth in (1, 2, 3):
+                        baseline = CarminatiEngine(graph)
+                        baseline.add_rule(
+                            CarminatiRule("c", owner, relationship, max_depth=depth)
+                        )
+                        if frozenset(baseline.authorized_audience("c")) == audience:
+                            found = True
+                            break
+                    if found:
+                        break
+                expressible_for += int(found)
+            verdict = (
+                "expressible for every owner"
+                if expressible_for == len(owners)
+                else f"NOT EXPRESSIBLE ({expressible_for}/{len(owners)} owners only)"
+            )
+            rows.append(
+                {
+                    "scenario": scenario.name,
+                    "expressions": "; ".join(scenario.expressions),
+                    "baseline_equivalent": verdict,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    for row in rows:
+        _EXPRESSIVENESS.add(**row)
+    inexpressible = [row for row in rows if row["baseline_equivalent"].startswith("NOT")]
+    assert len(inexpressible) >= 3  # the multi-relationship / directed / filtered scenarios
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_table("perf5a_carminati_latency", _LATENCY.to_table())
+    record_table("perf5b_carminati_expressiveness", _EXPRESSIVENESS.to_table())
+    assert len(_LATENCY.rows) == 2
+    assert len(_EXPRESSIVENESS.rows) == len(SCENARIOS)

@@ -1,0 +1,41 @@
+"""FIG1 — rebuild the paper's Figure-1 social subgraph and report its shape.
+
+Regenerates the example social network (7 users, 12 labelled relationships)
+and prints the graph summary; the benchmark measures construction cost, which
+is the baseline "data loading" step of every other experiment.
+"""
+
+from __future__ import annotations
+
+from conftest import record_table
+
+from repro.datasets.paper_graph import EDGES, USERS, paper_graph
+from repro.graph.statistics import summarize
+from repro.workloads.metrics import format_table
+
+
+def test_build_paper_graph(benchmark):
+    graph = benchmark(paper_graph)
+    assert graph.number_of_users() == len(USERS) == 7
+    assert graph.number_of_relationships() == len(EDGES) == 12
+
+    summary = summarize(graph)
+    rows = [
+        {"metric": "users", "value": summary.users},
+        {"metric": "relationships", "value": summary.relationships},
+        {"metric": "relationship types", "value": ", ".join(summary.labels)},
+        {"metric": "friend edges", "value": summary.label_counts["friend"]},
+        {"metric": "colleague edges", "value": summary.label_counts["colleague"]},
+        {"metric": "parent edges", "value": summary.label_counts["parent"]},
+        {"metric": "average out-degree", "value": round(summary.average_out_degree, 3)},
+        {"metric": "weakly connected components", "value": summary.weakly_connected_components},
+    ]
+    record_table(
+        "figure1_paper_graph",
+        format_table(["metric", "value"], rows, title="Figure 1 — example social subgraph"),
+    )
+
+
+def test_summarize_paper_graph(benchmark, figure1):
+    summary = benchmark(summarize, figure1)
+    assert summary.largest_component_size == 7

@@ -1,0 +1,62 @@
+"""FIG2 / FIG4 — query Q1: parsing, line-query transformation, evaluation.
+
+Figure 2 defines Q1 = ``Alice/friend+[1,2]/colleague+[1]`` ("the colleagues
+of Alice's friends within 2 hops"); Figure 4 transforms it into two line
+queries.  This module regenerates the transformation and benchmarks the cost
+of parsing, expanding and answering Q1 on every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.datasets.paper_graph import ALICE, FRED, Q1_EXPECTED_AUDIENCE, Q1_EXPRESSION
+from repro.policy import PathExpression
+from repro.reachability import available_backends
+from repro.reachability.query import expand_line_queries
+from repro.workloads.metrics import format_table
+
+
+def test_parse_q1(benchmark):
+    expression = benchmark(PathExpression.parse, Q1_EXPRESSION)
+    assert expression.labels() == ("friend", "colleague")
+
+
+def test_expand_q1_into_line_queries(benchmark):
+    expression = PathExpression.parse(Q1_EXPRESSION)
+    queries = benchmark(expand_line_queries, expression)
+    assert len(queries) == 2
+
+    rows = [
+        {
+            "line query": query.describe(),
+            "hops": len(query),
+            "depth combination": "/".join(map(str, query.depths)),
+        }
+        for query in queries
+    ]
+    record_table(
+        "figure2_q1_line_queries",
+        format_table(
+            ["line query", "hops", "depth combination"],
+            rows,
+            title=f"Figure 2/4 — Q1 = Alice/{Q1_EXPRESSION} expands into {len(queries)} line queries",
+        ),
+    )
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_answer_q1(benchmark, figure1_engines, backend):
+    evaluator = figure1_engines[backend]
+    expression = PathExpression.parse(Q1_EXPRESSION)
+    result = benchmark(evaluator.evaluate, ALICE, FRED, expression)
+    assert result.reachable
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_q1_audience(benchmark, figure1_engines, backend):
+    evaluator = figure1_engines[backend]
+    expression = PathExpression.parse(Q1_EXPRESSION)
+    audience = benchmark(evaluator.find_targets, ALICE, expression)
+    assert audience == Q1_EXPECTED_AUDIENCE

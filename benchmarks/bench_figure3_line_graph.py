@@ -1,0 +1,56 @@
+"""FIG3 — directed line graph L(G) of the example social graph.
+
+Figure 3 shows the line graph of Figure 1: one vertex per edge of G, an arc
+whenever the head of one edge meets the tail of another.  This module
+regenerates the structure (and prints the vertex/adjacency inventory) and
+benchmarks line-graph construction on the example graph and on a larger
+synthetic graph.
+"""
+
+from __future__ import annotations
+
+from conftest import record_table
+
+from repro.reachability.linegraph import LineGraph
+from repro.workloads.metrics import format_table
+
+
+def test_build_line_graph_of_figure1(benchmark, figure1):
+    line_graph = benchmark(LineGraph, figure1, include_reverse=False)
+    assert line_graph.number_of_vertices() == 12
+
+    rows = []
+    for vertex_id in line_graph.vertex_ids():
+        vertex = line_graph.vertex(vertex_id)
+        rows.append(
+            {
+                "line vertex": vertex.describe(),
+                "successors": ", ".join(
+                    line_graph.vertex(successor).describe()
+                    for successor in sorted(line_graph.successors(vertex_id))
+                )
+                or "-",
+            }
+        )
+    record_table(
+        "figure3_line_graph",
+        format_table(
+            ["line vertex", "successors"],
+            rows,
+            title=(
+                "Figure 3 — line graph L(G) of the example graph: "
+                f"{line_graph.number_of_vertices()} vertices, {line_graph.number_of_edges()} arcs"
+            ),
+        ),
+    )
+
+
+def test_build_oriented_line_graph_of_figure1(benchmark, figure1):
+    line_graph = benchmark(LineGraph, figure1, include_reverse=True)
+    assert line_graph.number_of_vertices() == 24
+
+
+def test_build_line_graph_of_synthetic_graph(benchmark, scaling_graphs):
+    graph = scaling_graphs[400]
+    line_graph = benchmark(LineGraph, graph, include_reverse=False)
+    assert line_graph.number_of_vertices() == graph.number_of_relationships()

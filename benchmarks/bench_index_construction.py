@@ -1,0 +1,69 @@
+"""PERF-2a — index construction cost versus graph size.
+
+The introduction contrasts the two classic options: online search (no
+precomputation at all) and full transitive closure (``O(|V|·|E|)`` time).
+The paper's pipeline (line graph + SCC + interval labeling + 2-hop cover +
+cluster index) sits in between: more expensive than nothing, cheaper to store
+than the closure, and paid once, offline.  This experiment measures the
+construction wall-clock of both precomputed structures across graph sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+from repro.workloads.metrics import MetricSeries, Timer
+
+_SERIES = MetricSeries(
+    "PERF-2a — index construction seconds vs graph size",
+    ["index", "users", "relationships", "build_seconds"],
+)
+
+SIZES = (50, 100, 200, 400)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_transitive_closure_construction(benchmark, index_scale_graphs, size):
+    graph = index_scale_graphs[size]
+
+    def build():
+        return TransitiveClosureIndex(graph).build()
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    with Timer() as timer:
+        TransitiveClosureIndex(graph).build()
+    _SERIES.add(
+        index="transitive-closure",
+        users=size,
+        relationships=graph.number_of_relationships(),
+        build_seconds=timer.elapsed,
+    )
+    assert index.size() > 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_cluster_index_construction(benchmark, index_scale_graphs, size):
+    graph = index_scale_graphs[size]
+
+    def build():
+        return ClusterIndexEvaluator(graph).build()
+
+    evaluator = benchmark.pedantic(build, rounds=1, iterations=1)
+    with Timer() as timer:
+        ClusterIndexEvaluator(graph).build()
+    _SERIES.add(
+        index="cluster-index",
+        users=size,
+        relationships=graph.number_of_relationships(),
+        build_seconds=timer.elapsed,
+    )
+    assert evaluator.statistics()["index_entries"] > 0
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_table("perf2a_index_construction", _SERIES.to_table())
+    assert len(_SERIES.rows) == 2 * len(SIZES)

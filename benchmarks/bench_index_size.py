@@ -1,0 +1,62 @@
+"""PERF-2b — index storage size versus graph size.
+
+The introduction's second claim about the transitive-closure baseline is its
+storage cost (``O(|E|^2)`` in the worst case, and in practice one entry per
+reachable pair per label).  The 2-hop labeling is the paper's answer: its
+size is ``sum |Lin(v)| + |Lout(v)|``, typically far below the materialized
+closure.  This experiment reports both sizes, plus the breakdown of the
+cluster-index structures (base-table rows, centers, W-table entries), across
+graph sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+from repro.workloads.metrics import MetricSeries
+
+_SERIES = MetricSeries(
+    "PERF-2b — index size (stored entries) vs graph size",
+    [
+        "users", "relationships",
+        "closure_entries", "two_hop_entries", "ratio_closure_over_2hop",
+        "base_table_rows", "centers", "w_table_entries",
+    ],
+)
+
+SIZES = (50, 100, 200, 400)
+
+
+def _measure(graph):
+    closure = TransitiveClosureIndex(graph).build()
+    cluster = ClusterIndexEvaluator(graph).build()
+    stats = cluster.statistics()
+    return closure, stats
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_index_sizes(benchmark, index_scale_graphs, size):
+    graph = index_scale_graphs[size]
+    closure, stats = benchmark.pedantic(_measure, args=(graph,), rounds=1, iterations=1)
+    closure_entries = closure.size()
+    two_hop_entries = int(stats["index_entries"])
+    _SERIES.add(
+        users=size,
+        relationships=graph.number_of_relationships(),
+        closure_entries=closure_entries,
+        two_hop_entries=two_hop_entries,
+        ratio_closure_over_2hop=round(closure_entries / max(1, two_hop_entries), 2),
+        base_table_rows=int(stats["base_table_rows"]),
+        centers=int(stats["centers"]),
+        w_table_entries=int(stats["w_table_entries"]),
+    )
+    assert closure_entries > 0 and two_hop_entries > 0
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_table("perf2b_index_size", _SERIES.to_table())
+    assert len(_SERIES.rows) == len(SIZES)

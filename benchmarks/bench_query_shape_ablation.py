@@ -1,0 +1,87 @@
+"""PERF-4 — ablation: how query shape drives evaluation cost.
+
+The class of queries the paper introduces is parameterized by (a) the number
+of steps in the path expression and (b) the width of each step's depth
+interval (which multiplies the number of line queries after expansion:
+``prod(width_i)``, Section 3.1).  This experiment sweeps both knobs on a
+fixed graph and compares the online BFS evaluator with the cluster-index
+evaluator, reporting latency and the number of line queries evaluated.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import record_table
+
+from repro.reachability import create_evaluator
+from repro.workloads.metrics import MetricSeries, Timer
+from repro.workloads.queries import expression_of_shape
+
+_SERIES = MetricSeries(
+    "PERF-4 — query-shape ablation (300-user scale-free graph)",
+    ["backend", "steps", "depth_width", "line_queries", "mean_latency_ms"],
+)
+
+STEP_COUNTS = (1, 2, 3, 4)
+DEPTH_WIDTHS = (1, 2, 3)
+_EVALUATORS = {}
+
+
+def _graph(scaling_graphs):
+    return scaling_graphs[200]
+
+
+def _evaluator(backend, graph):
+    if backend not in _EVALUATORS:
+        _EVALUATORS[backend] = create_evaluator(backend, graph)
+    return _EVALUATORS[backend]
+
+
+def _pairs(graph, count=15):
+    users = sorted(graph.users())
+    step = max(1, len(users) // count)
+    sources = users[::step][:count]
+    targets = list(reversed(users))[::step][:count]
+    return list(zip(sources, targets))
+
+
+def _cases():
+    return [
+        (backend, steps, width)
+        for backend in ("bfs", "cluster-index")
+        for steps in STEP_COUNTS
+        for width in DEPTH_WIDTHS
+        if steps * width <= 9  # keep expansions (width ** steps) modest
+    ]
+
+
+@pytest.mark.parametrize("backend,steps,width", _cases())
+def test_query_shape(benchmark, scaling_graphs, backend, steps, width):
+    graph = _graph(scaling_graphs)
+    evaluator = _evaluator(backend, graph)
+    expression = expression_of_shape(graph.labels(), steps=steps, depth_width=width)
+    pairs = _pairs(graph)
+
+    def run():
+        hits = 0
+        for source, target in pairs:
+            if evaluator.evaluate(source, target, expression, collect_witness=False).reachable:
+                hits += 1
+        return hits
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    with Timer() as timer:
+        run()
+    _SERIES.add(
+        backend=backend,
+        steps=steps,
+        depth_width=width,
+        line_queries=expression.expansion_count(),
+        mean_latency_ms=1000.0 * timer.elapsed / len(pairs),
+    )
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_table("perf4_query_shape_ablation", _SERIES.to_table())
+    assert len(_SERIES.rows) == len(_cases())

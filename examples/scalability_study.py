@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Mini scalability study: backends compared across graph sizes.
+
+A scripted, smaller version of the PERF-1 / PERF-2 benchmark experiments,
+meant to be read and re-run interactively: it generates scale-free networks
+of increasing size, builds every backend, and prints index construction time,
+index size and mean per-query latency side by side.
+
+Run with::
+
+    python examples/scalability_study.py            # default sizes
+    python examples/scalability_study.py 100 400    # custom sizes
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.graph.generators import preferential_attachment_graph
+from repro.policy import PathExpression
+from repro.reachability import available_backends, create_evaluator
+from repro.workloads.metrics import MetricSeries, Timer
+from repro.workloads.queries import random_query_mix
+
+QUERY_EXPRESSIONS = (
+    "friend+[1,2]",
+    "friend+[1,2]/colleague+[1]",
+    "colleague*[1,2]",
+)
+
+
+def study(sizes) -> MetricSeries:
+    series = MetricSeries(
+        "backend comparison (Barabási–Albert graphs, 30 queries per size)",
+        ["users", "backend", "build_seconds", "index_entries", "mean_query_ms"],
+    )
+    expressions = [PathExpression.parse(text) for text in QUERY_EXPRESSIONS]
+    for size in sizes:
+        graph = preferential_attachment_graph(size, edges_per_node=3, seed=99)
+        pairs = [(s, t) for s, t, _e in random_query_mix(graph, 30, seed=size)]
+        for backend in available_backends():
+            with Timer() as build_timer:
+                evaluator = create_evaluator(backend, graph)
+            with Timer() as query_timer:
+                for index, (source, target) in enumerate(pairs):
+                    expression = expressions[index % len(expressions)]
+                    evaluator.evaluate(source, target, expression, collect_witness=False)
+            series.add(
+                users=size,
+                backend=backend,
+                build_seconds=build_timer.elapsed,
+                index_entries=int(evaluator.statistics().get("index_entries", 0)),
+                mean_query_ms=1000.0 * query_timer.elapsed / max(1, len(pairs)),
+            )
+    return series
+
+
+def main() -> None:
+    sizes = [int(argument) for argument in sys.argv[1:]] or [50, 100, 200]
+    print(f"running the study for sizes {sizes} (backends: {', '.join(available_backends())})")
+    print()
+    series = study(sizes)
+    print(series.to_table())
+    print()
+    print("reading guide: 'bfs'/'dfs' pay nothing up front and everything per query;")
+    print("'transitive-closure' and 'cluster-index' pay an offline build (and storage)")
+    print("to keep per-query latency flat as the graph grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that the package can also be installed in environments without the ``wheel``
+package (offline boxes), via ``python setup.py develop`` or legacy
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""repro — reachability-based access control for social networks.
+
+A faithful, self-contained reproduction of
+
+    Imen Ben Dhia (advisor: Talel Abdessalem),
+    "Access Control in Social Networks: A Reachability-Based Approach",
+    EDBT/ICDT Workshops 2012.
+
+The library has four layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` — the directed, edge-labelled social graph substrate
+  (Definition 1), plus synthetic-network generators and serialization.
+* :mod:`repro.policy` — the access-control model (Definitions 2–3): path
+  expressions, access conditions and rules, the policy store, the
+  enforcement engine, auditing, and the Carminati-style baseline.
+* :mod:`repro.reachability` — ordered label-constraint reachability query
+  evaluation (Section 3): online BFS/DFS, transitive closure, and the
+  line-graph + 2-hop-cover + cluster-join-index pipeline.
+* :mod:`repro.storage` — the in-memory relational substrate (tables,
+  B+-tree, reachability joins) the index is stored in.
+
+Quickstart
+----------
+>>> from repro import SocialGraph, PolicyStore, AccessControlEngine
+>>> graph = SocialGraph()
+>>> for user in ("alice", "bob", "carol"):
+...     graph.add_user(user)
+>>> _ = graph.add_relationship("alice", "bob", "friend")
+>>> _ = graph.add_relationship("bob", "carol", "friend")
+>>> store = PolicyStore()
+>>> _ = store.share("alice", "holiday-album", kind="photos")
+>>> _ = store.allow("holiday-album", "friend+[1,2]")
+>>> engine = AccessControlEngine(graph, store)
+>>> engine.is_allowed("carol", "holiday-album")
+True
+"""
+
+from repro.graph import GraphBuilder, Relationship, SocialGraph, graph_from_edges
+from repro.policy import (
+    AccessControlEngine,
+    AccessCondition,
+    AccessDecision,
+    AccessRule,
+    AttributeCondition,
+    AuditLog,
+    CarminatiEngine,
+    CarminatiRule,
+    DepthInterval,
+    Direction,
+    Effect,
+    PathExpression,
+    PolicyStore,
+    Resource,
+    Step,
+)
+from repro.reachability import (
+    ClusterIndexEvaluator,
+    EvaluationResult,
+    OnlineBFSEvaluator,
+    OnlineDFSEvaluator,
+    ReachabilityEngine,
+    ReachabilityQuery,
+    TransitiveClosureEvaluator,
+    available_backends,
+    create_evaluator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "SocialGraph",
+    "Relationship",
+    "GraphBuilder",
+    "graph_from_edges",
+    # policy
+    "PathExpression",
+    "Step",
+    "Direction",
+    "DepthInterval",
+    "AttributeCondition",
+    "AccessCondition",
+    "AccessRule",
+    "Resource",
+    "PolicyStore",
+    "AccessControlEngine",
+    "AccessDecision",
+    "Effect",
+    "AuditLog",
+    "CarminatiEngine",
+    "CarminatiRule",
+    # reachability
+    "ReachabilityEngine",
+    "ReachabilityQuery",
+    "EvaluationResult",
+    "OnlineBFSEvaluator",
+    "OnlineDFSEvaluator",
+    "TransitiveClosureEvaluator",
+    "ClusterIndexEvaluator",
+    "available_backends",
+    "create_evaluator",
+]

@@ -1,0 +1,117 @@
+"""The paper's running example: the Figure-1 social subgraph and its known facts.
+
+Seven users (Alice, Bill, Colin, David, Elena, Fred, George) connected by
+twelve labelled relationships over the alphabet ``{friend, colleague,
+parent}``.  The edge list is taken from the enumeration under Figure 5
+(``Friend A-C``, ``Colleague A-D``, ``Friend A-B``, ``Friend C-D``,
+``Friend E-B``, ``Friend B-E``, ``Parent C-F``, ``Colleague D-F``,
+``Parent D-G``, ``Friend E-D``, ``Friend E-G``, ``Friend F-G``), which is the
+authoritative machine-readable description of the figure.  Alice's attribute
+tuple ``(gender=female, age=24)`` is given explicitly in the paper; the other
+users receive plausible attributes (documented below) so that
+attribute-condition examples have something to bite on.
+
+Besides the graph itself, this module records the *expected outcomes* of the
+paper's worked examples (query Q1 of Figure 2, the ``friend/parent/friend``
+example of Section 3.4, the audience examples of Section 2), which the golden
+tests and the figure benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.social_graph import SocialGraph
+
+__all__ = [
+    "ALICE", "BILL", "COLIN", "DAVID", "ELENA", "FRED", "GEORGE",
+    "USERS", "EDGES", "LABELS",
+    "paper_graph",
+    "Q1_EXPRESSION", "Q1_EXPECTED_AUDIENCE",
+    "WORKED_EXAMPLE_EXPRESSION", "WORKED_EXAMPLE_EXPECTED_AUDIENCE",
+    "WORKED_EXAMPLE_WITNESS_NODES",
+    "DAVID_INCOMING_FRIENDS", "DAVID_EXTENDED_AUDIENCE",
+    "FRIEND_PATH_ALICE_GEORGE",
+]
+
+ALICE = "Alice"
+BILL = "Bill"
+COLIN = "Colin"
+DAVID = "David"
+ELENA = "Elena"
+FRED = "Fred"
+GEORGE = "George"
+
+USERS: Dict[str, Dict[str, object]] = {
+    # Alice's tuple is the one spelled out in the paper (Definition 1 example).
+    ALICE: {"gender": "female", "age": 24, "job": "engineer", "city": "paris"},
+    BILL: {"gender": "male", "age": 31, "job": "teacher", "city": "paris"},
+    COLIN: {"gender": "male", "age": 29, "job": "biologist", "city": "berlin"},
+    DAVID: {"gender": "male", "age": 35, "job": "biologist", "city": "paris"},
+    ELENA: {"gender": "female", "age": 27, "job": "doctor", "city": "rome"},
+    FRED: {"gender": "male", "age": 12, "job": "student", "city": "berlin"},
+    GEORGE: {"gender": "male", "age": 14, "job": "student", "city": "paris"},
+}
+
+# (source, target, label, attributes) — the twelve edges of Figure 1.
+EDGES: List[Tuple[str, str, str, Dict[str, object]]] = [
+    (ALICE, COLIN, "friend", {"topic": "babysitting", "trust": 0.8}),
+    (ALICE, DAVID, "colleague", {"topic": "biology", "trust": 0.6}),
+    (ALICE, BILL, "friend", {}),
+    (COLIN, DAVID, "friend", {}),
+    (ELENA, BILL, "friend", {}),
+    (BILL, ELENA, "friend", {}),
+    (COLIN, FRED, "parent", {}),
+    (DAVID, FRED, "colleague", {}),
+    (DAVID, GEORGE, "parent", {}),
+    (ELENA, DAVID, "friend", {}),
+    (ELENA, GEORGE, "friend", {}),
+    (FRED, GEORGE, "friend", {}),
+]
+
+LABELS: Tuple[str, ...] = ("colleague", "friend", "parent")
+
+
+def paper_graph() -> SocialGraph:
+    """Build and return the Figure-1 social subgraph."""
+    graph = SocialGraph(name="edbt2012-figure1")
+    for user, attributes in USERS.items():
+        graph.add_user(user, **attributes)
+    for source, target, label, attributes in EDGES:
+        graph.add_relationship(source, target, label, **attributes)
+    return graph
+
+
+# --------------------------------------------------------------------------
+# Worked examples and their expected outcomes
+# --------------------------------------------------------------------------
+
+# Figure 2 / query Q1: "the colleagues of Alice's friends within 2 hops",
+# written Alice/friend+[1,2]/colleague+[1].  Friends of Alice within two hops
+# are {Colin, Bill, David, Elena}; the only outgoing colleague edge from that
+# set is David -> Fred, so the authorized audience is exactly {Fred}.
+Q1_EXPRESSION = "friend+[1,2]/colleague+[1]"
+Q1_EXPECTED_AUDIENCE: Set[str] = {FRED}
+
+# Section 3.4 worked example: Alice shares with "the friends of her friends'
+# parents" (path /friend/parent/friend); George requests access and the
+# system grants it through Alice -> Colin -> Fred -> George.
+WORKED_EXAMPLE_EXPRESSION = "friend+[1]/parent+[1]/friend+[1]"
+WORKED_EXAMPLE_EXPECTED_AUDIENCE: Set[str] = {GEORGE}
+WORKED_EXAMPLE_WITNESS_NODES: List[str] = [ALICE, COLIN, FRED, GEORGE]
+
+# Section 2 audience examples around David: "David is able to share his jokes
+# with those who consider him as a friend (Elena and Colin), and he can extend
+# the audience to their friends (George and Bill, for Elena)".
+DAVID_INCOMING_FRIENDS: Set[str] = {ELENA, COLIN}
+DAVID_INCOMING_FRIENDS_EXPRESSION = "friend-[1]"
+DAVID_EXTENDED_AUDIENCE_EXPRESSION = "friend-[1]/friend+[1]"
+# Friends of Elena: Bill, David, George; friends of Colin: David.  David, the
+# owner, is excluded when materializing the audience of *other* users, but the
+# raw reachability set contains him as well.
+DAVID_EXTENDED_AUDIENCE: Set[str] = {BILL, GEORGE, DAVID}
+
+# Definition 1 example: "from Alice to George, there is a friend-typed path
+# (Alice-Bill-Elena-George) of length 3".
+FRIEND_PATH_ALICE_GEORGE: List[str] = [ALICE, BILL, ELENA, GEORGE]
+FRIEND_PATH_EXPRESSION = "friend+[3]"

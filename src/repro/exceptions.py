@@ -1,0 +1,172 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError`, so that
+callers embedding the library can catch a single base class.  Each subsystem
+(graph, policy, reachability, storage) has its own intermediate base class,
+mirroring the package layout described in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# Graph substrate errors
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the social-graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A user id was referenced that is not present in the graph."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep it readable.
+        return f"user {self.node!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A (source, target, label) relationship was referenced but not found."""
+
+    def __init__(self, source, target, label):
+        super().__init__((source, target, label))
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __str__(self) -> str:
+        return (
+            f"relationship {self.source!r} -[{self.label}]-> {self.target!r} "
+            "is not in the graph"
+        )
+
+
+class DuplicateNodeError(GraphError):
+    """A user id was added twice to the same graph."""
+
+
+class DuplicateEdgeError(GraphError):
+    """The same (source, target, label) relationship was added twice."""
+
+
+class GraphFormatError(GraphError):
+    """A serialized graph document could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Policy (access-control model) errors
+# ---------------------------------------------------------------------------
+
+
+class PolicyError(ReproError):
+    """Base class for errors raised by the access-control model."""
+
+
+class PathExpressionSyntaxError(PolicyError, ValueError):
+    """A textual path expression could not be parsed.
+
+    Carries the offending expression and the position of the error so that
+    user interfaces can point at the mistake.
+    """
+
+    def __init__(self, expression: str, position: int, message: str):
+        super().__init__(f"{message} (at position {position} in {expression!r})")
+        self.expression = expression
+        self.position = position
+        self.reason = message
+
+
+class RuleValidationError(PolicyError):
+    """An access rule is structurally invalid (e.g. empty condition set)."""
+
+
+class ResourceNotFoundError(PolicyError, KeyError):
+    """A resource id was referenced that is not registered in the store."""
+
+    def __init__(self, resource_id):
+        super().__init__(resource_id)
+        self.resource_id = resource_id
+
+    def __str__(self) -> str:
+        return f"resource {self.resource_id!r} is not registered"
+
+
+class RuleNotFoundError(PolicyError, KeyError):
+    """An access-rule id was referenced that is not registered in the store."""
+
+    def __init__(self, rule_id):
+        super().__init__(rule_id)
+        self.rule_id = rule_id
+
+    def __str__(self) -> str:
+        return f"access rule {self.rule_id!r} is not registered"
+
+
+class UnknownOperatorError(PolicyError, ValueError):
+    """An attribute condition used a comparison operator we do not support."""
+
+
+# ---------------------------------------------------------------------------
+# Reachability / query-evaluation errors
+# ---------------------------------------------------------------------------
+
+
+class ReachabilityError(ReproError):
+    """Base class for errors raised by the reachability query engines."""
+
+
+class UnknownBackendError(ReachabilityError, KeyError):
+    """An evaluation backend name was requested that is not registered."""
+
+    def __init__(self, name, available=()):
+        super().__init__(name)
+        self.name = name
+        self.available = tuple(available)
+
+    def __str__(self) -> str:
+        hint = f" (available: {', '.join(self.available)})" if self.available else ""
+        return f"unknown reachability backend {self.name!r}{hint}"
+
+
+class IndexNotBuiltError(ReachabilityError, RuntimeError):
+    """A query was submitted to an index-backed evaluator before ``build()``."""
+
+
+class QueryError(ReachabilityError, ValueError):
+    """A reachability query is malformed (e.g. empty step sequence)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the in-memory relational substrate."""
+
+
+class SchemaError(StorageError, ValueError):
+    """A row does not match the schema of the table it is inserted into."""
+
+
+class DuplicateKeyError(StorageError):
+    """A unique key constraint was violated."""
+
+
+class TableNotFoundError(StorageError, KeyError):
+    """A table name was referenced that is not present in the catalog."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"table {self.name!r} is not in the catalog"

@@ -1,0 +1,31 @@
+"""Social graph substrate: the directed, edge-labelled graph of Definition 1.
+
+Public entry points:
+
+* :class:`~repro.graph.social_graph.SocialGraph` — the graph itself.
+* :class:`~repro.graph.builder.GraphBuilder` / :func:`~repro.graph.builder.graph_from_edges`
+  — convenient construction.
+* :mod:`~repro.graph.generators` — synthetic OSN topologies for benchmarks.
+* :mod:`~repro.graph.io` — JSON / edge-list serialization.
+* :mod:`~repro.graph.statistics` — workload characterization.
+"""
+
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.paths import Path, Traversal, is_adjacent_chain, path_from_nodes
+from repro.graph.social_graph import Relationship, SocialGraph
+from repro.graph.views import GraphView, label_view, trust_view, user_filter_view
+
+__all__ = [
+    "SocialGraph",
+    "Relationship",
+    "GraphBuilder",
+    "graph_from_edges",
+    "Path",
+    "Traversal",
+    "is_adjacent_chain",
+    "path_from_nodes",
+    "GraphView",
+    "label_view",
+    "trust_view",
+    "user_filter_view",
+]

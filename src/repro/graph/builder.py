@@ -1,0 +1,133 @@
+"""Fluent construction helpers for :class:`~repro.graph.social_graph.SocialGraph`.
+
+The raw graph API requires endpoints to exist before a relationship is added,
+which is the right contract for algorithmic code but tedious for examples,
+tests and data loaders.  :class:`GraphBuilder` auto-creates users, supports
+declaring relationships in bulk, and tracks symmetric relationship types so
+that mutual links (``friend``) are added in both directions automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.graph.social_graph import SocialGraph, UserId
+
+__all__ = ["GraphBuilder", "graph_from_edges"]
+
+EdgeSpec = Union[
+    Tuple[UserId, UserId, str],
+    Tuple[UserId, UserId, str, Mapping[str, Any]],
+]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`SocialGraph` with a forgiving API.
+
+    Examples
+    --------
+    >>> builder = GraphBuilder(symmetric_labels={"friend"})
+    >>> builder.user("alice", age=24).user("bill", age=31)
+    <repro.graph.builder.GraphBuilder ...>
+    >>> builder.relate("alice", "bill", "friend")    # adds both directions
+    <repro.graph.builder.GraphBuilder ...>
+    >>> graph = builder.build()
+    >>> graph.has_relationship("bill", "alice", "friend")
+    True
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        symmetric_labels: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._graph = SocialGraph(name=name)
+        self._symmetric: Set[str] = set(symmetric_labels or ())
+
+    # -------------------------------------------------------------- declare
+
+    def symmetric(self, *labels: str) -> "GraphBuilder":
+        """Declare relationship types that should always be added both ways."""
+        self._symmetric.update(labels)
+        return self
+
+    def user(self, user: UserId, **attributes: Any) -> "GraphBuilder":
+        """Add (or update) a user with the given attributes."""
+        self._graph.ensure_user(user, **attributes)
+        return self
+
+    def users(self, users: Iterable[UserId], **attributes: Any) -> "GraphBuilder":
+        """Add several users sharing the same attribute defaults."""
+        for user in users:
+            self._graph.ensure_user(user, **attributes)
+        return self
+
+    def relate(
+        self,
+        source: UserId,
+        target: UserId,
+        label: str,
+        **attributes: Any,
+    ) -> "GraphBuilder":
+        """Add a relationship, creating endpoints as needed.
+
+        If the label was declared symmetric (or passed to ``symmetric_labels``
+        at construction time) the reverse relationship is added as well.
+        Re-adding an existing relationship is a no-op rather than an error,
+        which makes data loaders idempotent.
+        """
+        self._graph.ensure_user(source)
+        self._graph.ensure_user(target)
+        if not self._graph.has_relationship(source, target, label):
+            self._graph.add_relationship(source, target, label, **attributes)
+        if label in self._symmetric and not self._graph.has_relationship(target, source, label):
+            self._graph.add_relationship(target, source, label, **attributes)
+        return self
+
+    def relate_many(self, edges: Iterable[EdgeSpec]) -> "GraphBuilder":
+        """Add relationships from ``(source, target, label[, attributes])`` tuples."""
+        for edge in edges:
+            if len(edge) == 3:
+                source, target, label = edge  # type: ignore[misc]
+                attrs: Mapping[str, Any] = {}
+            else:
+                source, target, label, attrs = edge  # type: ignore[misc]
+            self.relate(source, target, label, **dict(attrs))
+        return self
+
+    def chain(self, users: Sequence[UserId], label: str, **attributes: Any) -> "GraphBuilder":
+        """Link consecutive users of ``users`` with ``label`` relationships."""
+        for source, target in zip(users, users[1:]):
+            self.relate(source, target, label, **attributes)
+        return self
+
+    def star(self, center: UserId, leaves: Iterable[UserId], label: str, **attributes: Any) -> "GraphBuilder":
+        """Link ``center`` to every user in ``leaves`` with ``label`` relationships."""
+        for leaf in leaves:
+            self.relate(center, leaf, label, **attributes)
+        return self
+
+    # ---------------------------------------------------------------- build
+
+    def build(self) -> SocialGraph:
+        """Return the constructed graph (the builder can keep being used)."""
+        return self._graph
+
+    def __repr__(self) -> str:
+        return f"<repro.graph.builder.GraphBuilder {self._graph!r}>"
+
+
+def graph_from_edges(
+    edges: Iterable[EdgeSpec],
+    *,
+    name: str = "",
+    symmetric_labels: Optional[Iterable[str]] = None,
+    node_attributes: Optional[Mapping[UserId, Mapping[str, Any]]] = None,
+) -> SocialGraph:
+    """Build a graph in one call from an edge list and optional node attributes."""
+    builder = GraphBuilder(name=name, symmetric_labels=symmetric_labels)
+    if node_attributes:
+        for user, attrs in node_attributes.items():
+            builder.user(user, **dict(attrs))
+    builder.relate_many(edges)
+    return builder.build()

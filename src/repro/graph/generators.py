@@ -1,0 +1,314 @@
+"""Synthetic social-network generators.
+
+The paper defers its evaluation to "real and large representative synthetic
+datasets" without naming any.  These generators provide the synthetic side:
+classic random-graph models (Erdős–Rényi, Barabási–Albert preferential
+attachment, Watts–Strogatz small world, and a forest-fire style model) whose
+edges are labelled with relationship types drawn from a configurable
+distribution and whose nodes carry user attributes (age, gender, city, job),
+so that every feature of the access-control model — labels, directions,
+distances, node-attribute conditions — is exercised at scale.
+
+All generators accept a ``seed`` and are fully deterministic for a given
+seed, which the benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.social_graph import SocialGraph
+
+__all__ = [
+    "LabelDistribution",
+    "AttributeModel",
+    "random_graph",
+    "preferential_attachment_graph",
+    "small_world_graph",
+    "forest_fire_graph",
+    "layered_organization_graph",
+]
+
+DEFAULT_LABELS: Tuple[Tuple[str, float], ...] = (
+    ("friend", 0.6),
+    ("colleague", 0.25),
+    ("parent", 0.15),
+)
+
+
+@dataclass(frozen=True)
+class LabelDistribution:
+    """A categorical distribution over relationship types.
+
+    ``weights`` maps each label to a non-negative weight; weights need not
+    sum to one.  The default mirrors the paper's example alphabet
+    ``{friend, colleague, parent}`` with friendship dominating, which is the
+    typical shape of OSN datasets.
+    """
+
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_LABELS)
+    )
+
+    def labels(self) -> Tuple[str, ...]:
+        """Return the label alphabet in a deterministic order."""
+        return tuple(sorted(self.weights))
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one label according to the weights."""
+        labels = self.labels()
+        weights = [float(self.weights[label]) for label in labels]
+        return rng.choices(labels, weights=weights, k=1)[0]
+
+
+@dataclass(frozen=True)
+class AttributeModel:
+    """Generates user attributes for synthetic graphs.
+
+    The attribute names and value pools are chosen so that the attribute
+    conditions used throughout the paper's examples (age thresholds, gender,
+    job, city) have realistic selectivities.
+    """
+
+    genders: Sequence[str] = ("female", "male")
+    cities: Sequence[str] = ("paris", "berlin", "london", "madrid", "rome")
+    jobs: Sequence[str] = ("engineer", "teacher", "doctor", "student", "artist", "lawyer")
+    min_age: int = 13
+    max_age: int = 80
+
+    def sample(self, rng: random.Random) -> Dict[str, object]:
+        """Draw one attribute tuple."""
+        return {
+            "age": rng.randint(self.min_age, self.max_age),
+            "gender": rng.choice(list(self.genders)),
+            "city": rng.choice(list(self.cities)),
+            "job": rng.choice(list(self.jobs)),
+        }
+
+
+def _new_graph(
+    name: str,
+    n: int,
+    rng: random.Random,
+    attributes: Optional[AttributeModel],
+    prefix: str,
+) -> Tuple[SocialGraph, List[str]]:
+    graph = SocialGraph(name=name)
+    model = attributes or AttributeModel()
+    users = [f"{prefix}{index}" for index in range(n)]
+    for user in users:
+        graph.add_user(user, **model.sample(rng))
+    return graph, users
+
+
+def _add_edge(
+    graph: SocialGraph,
+    rng: random.Random,
+    labels: LabelDistribution,
+    source: str,
+    target: str,
+    reciprocal_probability: float,
+) -> None:
+    if source == target:
+        return
+    label = labels.sample(rng)
+    trust = round(rng.uniform(0.1, 1.0), 2)
+    if not graph.has_relationship(source, target, label):
+        graph.add_relationship(source, target, label, trust=trust)
+    if rng.random() < reciprocal_probability and not graph.has_relationship(target, source, label):
+        graph.add_relationship(target, source, label, trust=trust)
+
+
+def random_graph(
+    n: int,
+    edge_probability: float = 0.05,
+    *,
+    labels: Optional[LabelDistribution] = None,
+    attributes: Optional[AttributeModel] = None,
+    reciprocal_probability: float = 0.5,
+    seed: Optional[int] = None,
+    prefix: str = "u",
+) -> SocialGraph:
+    """Erdős–Rényi ``G(n, p)`` graph with labelled edges and user attributes."""
+    rng = random.Random(seed)
+    labels = labels or LabelDistribution()
+    graph, users = _new_graph(f"erdos-renyi-{n}", n, rng, attributes, prefix)
+    for source in users:
+        for target in users:
+            if source != target and rng.random() < edge_probability:
+                _add_edge(graph, rng, labels, source, target, reciprocal_probability)
+    return graph
+
+
+def preferential_attachment_graph(
+    n: int,
+    edges_per_node: int = 3,
+    *,
+    labels: Optional[LabelDistribution] = None,
+    attributes: Optional[AttributeModel] = None,
+    reciprocal_probability: float = 0.5,
+    seed: Optional[int] = None,
+    prefix: str = "u",
+) -> SocialGraph:
+    """Barabási–Albert preferential-attachment graph (scale-free degree law).
+
+    This is the standard stand-in for OSN topology: a few very-high-degree
+    hubs and a long tail of low-degree users.  Each arriving node attaches to
+    ``edges_per_node`` existing nodes chosen proportionally to degree.
+    """
+    rng = random.Random(seed)
+    labels = labels or LabelDistribution()
+    graph, users = _new_graph(f"barabasi-albert-{n}", n, rng, attributes, prefix)
+    if n <= 1:
+        return graph
+    m = max(1, min(edges_per_node, n - 1))
+    # Repeated-nodes trick: the list holds one entry per edge endpoint so that
+    # sampling uniformly from it is sampling proportionally to degree.
+    repeated: List[str] = []
+    # Seed clique among the first m + 1 users so early targets exist.
+    for i in range(min(m + 1, n)):
+        for j in range(i):
+            _add_edge(graph, rng, labels, users[i], users[j], reciprocal_probability)
+            repeated.extend((users[i], users[j]))
+    for index in range(min(m + 1, n), n):
+        source = users[index]
+        targets: set = set()
+        while len(targets) < m and len(targets) < index:
+            if repeated and rng.random() < 0.9:
+                candidate = rng.choice(repeated)
+            else:
+                candidate = users[rng.randrange(index)]
+            if candidate != source:
+                targets.add(candidate)
+        # Sort before iterating: set order depends on the per-process hash seed,
+        # and edge insertion order must not (the generators promise cross-process
+        # determinism for a given seed).
+        for target in sorted(targets):
+            _add_edge(graph, rng, labels, source, target, reciprocal_probability)
+            repeated.extend((source, target))
+    return graph
+
+
+def small_world_graph(
+    n: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    *,
+    labels: Optional[LabelDistribution] = None,
+    attributes: Optional[AttributeModel] = None,
+    reciprocal_probability: float = 0.5,
+    seed: Optional[int] = None,
+    prefix: str = "u",
+) -> SocialGraph:
+    """Watts–Strogatz small-world graph: a rewired ring lattice.
+
+    High clustering with short average path length — the regime where
+    multi-hop access rules (friends of friends of ...) reach a large fraction
+    of the network, stressing the depth-interval handling.
+    """
+    rng = random.Random(seed)
+    labels = labels or LabelDistribution()
+    graph, users = _new_graph(f"watts-strogatz-{n}", n, rng, attributes, prefix)
+    if n <= 1:
+        return graph
+    k = max(2, nearest_neighbors)
+    for index, source in enumerate(users):
+        for offset in range(1, k // 2 + 1):
+            target_index = (index + offset) % n
+            if rng.random() < rewire_probability:
+                target_index = rng.randrange(n)
+            if target_index != index:
+                _add_edge(graph, rng, labels, source, users[target_index], reciprocal_probability)
+    return graph
+
+
+def forest_fire_graph(
+    n: int,
+    forward_probability: float = 0.35,
+    backward_probability: float = 0.2,
+    *,
+    labels: Optional[LabelDistribution] = None,
+    attributes: Optional[AttributeModel] = None,
+    reciprocal_probability: float = 0.3,
+    seed: Optional[int] = None,
+    prefix: str = "u",
+) -> SocialGraph:
+    """Forest-fire style growth model (Leskovec et al.) with labelled edges.
+
+    Each arriving user picks an ambassador and then "burns" through the
+    ambassador's neighborhood, linking to every burned user.  Produces
+    communities and densification similar to real OSN crawls.
+    """
+    rng = random.Random(seed)
+    labels = labels or LabelDistribution()
+    graph, users = _new_graph(f"forest-fire-{n}", n, rng, attributes, prefix)
+    if n <= 1:
+        return graph
+    for index in range(1, n):
+        source = users[index]
+        ambassador = users[rng.randrange(index)]
+        burned = {source}
+        frontier = [ambassador]
+        while frontier:
+            current = frontier.pop()
+            if current in burned:
+                continue
+            burned.add(current)
+            _add_edge(graph, rng, labels, source, current, reciprocal_probability)
+            neighbors = list(graph.successors(current)) + list(graph.predecessors(current))
+            rng.shuffle(neighbors)
+            spread = 0
+            budget = 1 + int(rng.random() < forward_probability) + int(
+                rng.random() < backward_probability
+            )
+            for neighbor in neighbors:
+                if neighbor not in burned and spread < budget:
+                    frontier.append(neighbor)
+                    spread += 1
+    return graph
+
+
+def layered_organization_graph(
+    departments: int = 4,
+    members_per_department: int = 10,
+    *,
+    seed: Optional[int] = None,
+    prefix: str = "emp",
+) -> SocialGraph:
+    """A deterministic organization-shaped graph used by the enterprise example.
+
+    Each department has a manager; members report to the manager
+    (``manages`` edges point from manager to member), are mutual
+    ``colleague``s within the department, and a sparse set of cross-department
+    ``friend`` edges exists.  Useful for access rules such as
+    "my manager's colleagues" or "friends of people in my department".
+    """
+    rng = random.Random(seed)
+    graph = SocialGraph(name="layered-organization")
+    model = AttributeModel()
+    for dept in range(departments):
+        manager = f"{prefix}-d{dept}-mgr"
+        graph.add_user(manager, department=dept, role="manager", **model.sample(rng))
+        members = []
+        for member_index in range(members_per_department):
+            member = f"{prefix}-d{dept}-m{member_index}"
+            graph.add_user(member, department=dept, role="member", **model.sample(rng))
+            members.append(member)
+            graph.add_relationship(manager, member, "manages")
+            graph.add_relationship(member, manager, "colleague")
+            graph.add_relationship(manager, member, "colleague")
+        for first in members:
+            for second in members:
+                if first < second:
+                    graph.add_relationship(first, second, "colleague")
+                    graph.add_relationship(second, first, "colleague")
+    users = list(graph.users())
+    for _ in range(departments * members_per_department // 2):
+        source, target = rng.sample(users, 2)
+        if not graph.has_relationship(source, target, "friend"):
+            graph.add_relationship(source, target, "friend", trust=round(rng.uniform(0.3, 1.0), 2))
+        if not graph.has_relationship(target, source, "friend"):
+            graph.add_relationship(target, source, "friend", trust=round(rng.uniform(0.3, 1.0), 2))
+    return graph

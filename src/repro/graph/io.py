@@ -1,0 +1,115 @@
+"""Serialization of social graphs.
+
+Two formats are supported:
+
+* a JSON document (``{"users": {...}, "relationships": [...]}``) that
+  round-trips every node and edge attribute, used by the examples and the
+  benchmark harness to cache generated workloads, and
+* a simple whitespace-separated edge-list text format
+  (``source target label``) for interoperability with graph tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.exceptions import GraphFormatError
+from repro.graph.social_graph import SocialGraph
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_edge_list",
+    "from_edge_list",
+]
+
+PathLike = Union[str, Path]
+
+
+def to_json(graph: SocialGraph, *, indent: int = 2) -> str:
+    """Serialize the graph to a JSON string."""
+    document = {
+        "name": graph.name,
+        "users": {str(user): graph.attributes(user) for user in graph.users()},
+        "relationships": [
+            {
+                "source": str(rel.source),
+                "target": str(rel.target),
+                "label": rel.label,
+                "attributes": dict(rel.attributes),
+            }
+            for rel in graph.relationships()
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> SocialGraph:
+    """Parse a graph from a JSON string produced by :func:`to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"invalid JSON graph document: {exc}") from exc
+    if not isinstance(document, dict) or "users" not in document:
+        raise GraphFormatError("JSON graph document must be an object with a 'users' key")
+    graph = SocialGraph(name=document.get("name", ""))
+    for user, attributes in document.get("users", {}).items():
+        graph.add_user(user, **dict(attributes or {}))
+    for edge in document.get("relationships", []):
+        try:
+            source, target, label = edge["source"], edge["target"], edge["label"]
+        except (TypeError, KeyError) as exc:
+            raise GraphFormatError(f"malformed relationship entry: {edge!r}") from exc
+        graph.ensure_user(source)
+        graph.ensure_user(target)
+        graph.add_relationship(source, target, label, **dict(edge.get("attributes") or {}))
+    return graph
+
+
+def save_json(graph: SocialGraph, path: PathLike, *, indent: int = 2) -> None:
+    """Write the graph to ``path`` as JSON."""
+    Path(path).write_text(to_json(graph, indent=indent), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> SocialGraph:
+    """Read a graph from a JSON file written by :func:`save_json`."""
+    return from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def to_edge_list(graph: SocialGraph) -> str:
+    """Serialize to a ``source target label`` text edge list (attributes are dropped)."""
+    lines = [f"{rel.source}\t{rel.target}\t{rel.label}" for rel in graph.relationships()]
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def from_edge_list(source: Union[str, Iterable[str], IO[str]], *, name: str = "") -> SocialGraph:
+    """Parse a graph from an edge-list string, iterable of lines, or open file.
+
+    Lines are ``source<TAB or space>target<TAB or space>label``; blank lines
+    and lines starting with ``#`` are ignored.  Users are created on demand
+    with no attributes.
+    """
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    graph = SocialGraph(name=name)
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"line {line_number}: expected 'source target label', got {line!r}"
+            )
+        src, dst, label = parts
+        graph.ensure_user(src)
+        graph.ensure_user(dst)
+        if not graph.has_relationship(src, dst, label):
+            graph.add_relationship(src, dst, label)
+    return graph

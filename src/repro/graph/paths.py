@@ -1,0 +1,198 @@
+"""Path objects over a :class:`~repro.graph.social_graph.SocialGraph`.
+
+A *path* in the paper is a finite sequence of relationships; its *length* is
+the number of relationships it contains, and the *depth* of a relationship
+type between two users is the length of a path using only that type.  The
+:class:`Path` class packages a concrete witness path (as returned by the
+evaluation engines when explaining an access decision) together with helpers
+used by the post-processing phase of the cluster-index pipeline: adjacency
+checking, label sequences and per-step segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.social_graph import Relationship, SocialGraph, UserId
+
+__all__ = ["Traversal", "Path", "is_adjacent_chain", "path_from_nodes"]
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """One relationship traversed in a concrete direction.
+
+    ``forward`` is true when the relationship was walked from its source to
+    its target, false when it was walked against the arrow (as permitted by
+    a step with direction ``-`` or ``*`` in an access condition).
+    """
+
+    relationship: Relationship
+    forward: bool = True
+
+    @property
+    def start(self) -> UserId:
+        """The user the traversal leaves from."""
+        return self.relationship.source if self.forward else self.relationship.target
+
+    @property
+    def end(self) -> UserId:
+        """The user the traversal arrives at."""
+        return self.relationship.target if self.forward else self.relationship.source
+
+    @property
+    def label(self) -> str:
+        """The relationship type that was traversed."""
+        return self.relationship.label
+
+    def __str__(self) -> str:
+        arrow = "->" if self.forward else "<-"
+        return f"{self.start} -[{self.label}]{arrow} {self.end}"
+
+
+class Path:
+    """A concrete path: an ordered sequence of adjacent traversals.
+
+    The empty path (no traversals) is allowed and represents "owner and
+    requester are the same user"; it carries an explicit ``start`` node.
+    """
+
+    def __init__(self, start: UserId, traversals: Sequence[Traversal] = ()) -> None:
+        self._start = start
+        self._traversals: Tuple[Traversal, ...] = tuple(traversals)
+        current = start
+        for hop in self._traversals:
+            if hop.start != current:
+                raise GraphError(
+                    f"path is not contiguous: expected a traversal starting at "
+                    f"{current!r}, got {hop}"
+                )
+            current = hop.end
+        self._end = current
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def start(self) -> UserId:
+        """The first user of the path (the resource owner in access checks)."""
+        return self._start
+
+    @property
+    def end(self) -> UserId:
+        """The last user of the path (the requester in access checks)."""
+        return self._end
+
+    @property
+    def traversals(self) -> Tuple[Traversal, ...]:
+        """The traversals making up the path, in order."""
+        return self._traversals
+
+    def __len__(self) -> int:
+        return len(self._traversals)
+
+    def __iter__(self) -> Iterator[Traversal]:
+        return iter(self._traversals)
+
+    def __bool__(self) -> bool:  # even the empty path is a valid witness
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._start == other._start and self._traversals == other._traversals
+
+    def __hash__(self) -> int:
+        return hash((self._start, self._traversals))
+
+    def __repr__(self) -> str:
+        return f"Path({' / '.join(str(t) for t in self._traversals) or self._start!r})"
+
+    # --------------------------------------------------------------- queries
+
+    def nodes(self) -> List[UserId]:
+        """Return the sequence of users visited, including both endpoints."""
+        result = [self._start]
+        result.extend(hop.end for hop in self._traversals)
+        return result
+
+    def labels(self) -> List[str]:
+        """Return the sequence of relationship types traversed."""
+        return [hop.label for hop in self._traversals]
+
+    def label_runs(self) -> List[Tuple[str, int]]:
+        """Return the path's label sequence compressed into (label, run-length) pairs.
+
+        ``friend, friend, colleague`` becomes ``[("friend", 2), ("colleague", 1)]``;
+        this is the shape compared against a path expression's steps.
+        """
+        runs: List[Tuple[str, int]] = []
+        for label in self.labels():
+            if runs and runs[-1][0] == label:
+                runs[-1] = (label, runs[-1][1] + 1)
+            else:
+                runs.append((label, 1))
+        return runs
+
+    def is_simple(self) -> bool:
+        """Return whether no user is visited twice."""
+        visited = self.nodes()
+        return len(visited) == len(set(visited))
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate two paths; ``other`` must start where this path ends."""
+        if other.start != self.end:
+            raise GraphError(
+                f"cannot concatenate: first path ends at {self.end!r} but the "
+                f"second starts at {other.start!r}"
+            )
+        return Path(self._start, self._traversals + other.traversals)
+
+    def extended(self, traversal: Traversal) -> "Path":
+        """Return a new path with one more traversal appended."""
+        return Path(self._start, self._traversals + (traversal,))
+
+
+def is_adjacent_chain(relationships: Sequence[Relationship]) -> bool:
+    """Return whether edges form one contiguous forward path (Section 3.4 check).
+
+    This is the adjacency test of the post-processing phase: the target of
+    each edge must be the source of the next one, so that the tuple returned
+    by the join phase describes a *single* path rather than a set of disjoint
+    paths.
+    """
+    for first, second in zip(relationships, relationships[1:]):
+        if first.target != second.source:
+            return False
+    return True
+
+
+def path_from_nodes(
+    graph: SocialGraph,
+    nodes: Sequence[UserId],
+    labels: Optional[Sequence[str]] = None,
+) -> Path:
+    """Build a forward :class:`Path` from a node sequence found in ``graph``.
+
+    When ``labels`` is given it must have one entry per hop and is used to
+    disambiguate parallel relationships; otherwise an arbitrary relationship
+    between each consecutive pair is used.
+    """
+    if not nodes:
+        raise GraphError("a path needs at least one node")
+    if labels is not None and len(labels) != len(nodes) - 1:
+        raise GraphError(
+            f"expected {len(nodes) - 1} labels for {len(nodes)} nodes, got {len(labels)}"
+        )
+    traversals = []
+    for index, (source, target) in enumerate(zip(nodes, nodes[1:])):
+        if labels is not None:
+            rel = graph.get_relationship(source, target, labels[index])
+        else:
+            candidates = [r for r in graph.out_relationships(source) if r.target == target]
+            if not candidates:
+                raise GraphError(f"no relationship from {source!r} to {target!r}")
+            rel = candidates[0]
+        traversals.append(Traversal(rel, forward=True))
+    return Path(nodes[0], traversals)

@@ -1,0 +1,395 @@
+"""The social network graph model (Definition 1 of the paper).
+
+A :class:`SocialGraph` is a directed, edge-labelled multigraph
+``G = (V, E, nu, lambda)`` where
+
+* ``V`` is the set of users (nodes), each carrying an attribute tuple
+  ``nu(v)`` (e.g. ``gender``, ``age``, ``job``),
+* ``E`` is the set of relationships, each carrying a relationship type
+  ``lambda(e)`` drawn from a finite alphabet (e.g. ``friend``, ``colleague``,
+  ``parent``) plus optional edge attributes (e.g. a trust weight).
+
+Between the same ordered pair of users several relationships may exist as
+long as their labels differ — exactly one edge per ``(source, target, label)``
+triple.  This mirrors the example of the paper's Figure 1, where Alice and
+David are linked by both a ``colleague`` and a ``friend`` relationship.
+
+The class is deliberately self-contained (a plain adjacency-dict design)
+rather than a thin wrapper over :mod:`networkx`, because every indexing
+algorithm in :mod:`repro.reachability` manipulates it directly; conversion
+helpers to/from networkx are provided for interoperability and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+
+__all__ = ["Relationship", "SocialGraph"]
+
+UserId = Hashable
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A single labelled, directed relationship between two users.
+
+    ``source -[label]-> target`` with optional free-form ``attributes``
+    (the paper's Figure 1 annotates some edges with a trust value, e.g.
+    ``Babysitting; 0.8``).
+
+    Identity (equality and hashing) is the ``(source, target, label)`` triple;
+    the attribute mapping is carried along but does not participate, so that
+    relationships can live in sets and act as dictionary keys.
+    """
+
+    source: UserId
+    target: UserId
+    label: str
+    attributes: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def key(self) -> Tuple[UserId, UserId, str]:
+        """Return the identifying triple of this relationship."""
+        return (self.source, self.target, self.label)
+
+    def reversed(self) -> "Relationship":
+        """Return the same relationship traversed in the opposite direction."""
+        return Relationship(self.target, self.source, self.label, self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.source} -[{self.label}]-> {self.target}"
+
+
+class SocialGraph:
+    """Directed, edge-labelled social network graph with node attributes.
+
+    The public API talks about *users* and *relationships* to stay close to
+    the paper's vocabulary, but the structure is a general directed labelled
+    multigraph and is reused as-is by the line-graph and index machinery.
+
+    Examples
+    --------
+    >>> g = SocialGraph()
+    >>> g.add_user("alice", gender="female", age=24)
+    >>> g.add_user("bill")
+    >>> g.add_relationship("alice", "bill", "friend")
+    >>> g.has_relationship("alice", "bill", "friend")
+    True
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._nodes: Dict[UserId, Dict[str, Any]] = {}
+        # _succ[u][v][label] -> Relationship ; _pred mirrors it for reverse walks.
+        self._succ: Dict[UserId, Dict[UserId, Dict[str, Relationship]]] = {}
+        self._pred: Dict[UserId, Dict[UserId, Dict[str, Relationship]]] = {}
+        self._num_edges = 0
+        self._label_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ users
+
+    def add_user(self, user: UserId, **attributes: Any) -> None:
+        """Add a user node with the given attributes.
+
+        Raises :class:`DuplicateNodeError` if the user already exists; use
+        :meth:`update_user` to change attributes of an existing user.
+        """
+        if user in self._nodes:
+            raise DuplicateNodeError(f"user {user!r} already exists")
+        self._nodes[user] = dict(attributes)
+        self._succ[user] = {}
+        self._pred[user] = {}
+
+    def ensure_user(self, user: UserId, **attributes: Any) -> None:
+        """Add the user if missing, merging ``attributes`` into existing ones."""
+        if user not in self._nodes:
+            self.add_user(user, **attributes)
+        elif attributes:
+            self._nodes[user].update(attributes)
+
+    def update_user(self, user: UserId, **attributes: Any) -> None:
+        """Merge ``attributes`` into an existing user's attribute tuple."""
+        self._nodes[self._require(user)].update(attributes)
+
+    def remove_user(self, user: UserId) -> None:
+        """Remove a user and every relationship incident to it."""
+        self._require(user)
+        for rel in list(self.out_relationships(user)) + list(self.in_relationships(user)):
+            self.remove_relationship(rel.source, rel.target, rel.label)
+        del self._nodes[user]
+        del self._succ[user]
+        del self._pred[user]
+
+    def has_user(self, user: UserId) -> bool:
+        """Return whether ``user`` is a node of the graph."""
+        return user in self._nodes
+
+    def users(self) -> Iterator[UserId]:
+        """Iterate over all user ids."""
+        return iter(self._nodes)
+
+    def attributes(self, user: UserId) -> Dict[str, Any]:
+        """Return the attribute mapping ``nu(user)`` (a live reference)."""
+        return self._nodes[self._require(user)]
+
+    def attribute(self, user: UserId, name: str, default: Any = None) -> Any:
+        """Return a single attribute of a user, or ``default`` if unset."""
+        return self._nodes[self._require(user)].get(name, default)
+
+    # --------------------------------------------------------- relationships
+
+    def add_relationship(
+        self,
+        source: UserId,
+        target: UserId,
+        label: str,
+        *,
+        reciprocal: bool = False,
+        **attributes: Any,
+    ) -> Relationship:
+        """Add a relationship ``source -[label]-> target``.
+
+        Both endpoints must already exist (use :class:`~repro.graph.builder.
+        GraphBuilder` for a more forgiving construction API).  When
+        ``reciprocal`` is true the symmetric edge ``target -[label]-> source``
+        is added as well (convenient for inherently mutual relationships such
+        as ``friend`` on undirected-style networks).
+
+        Returns the forward :class:`Relationship`.
+        """
+        self._require(source)
+        self._require(target)
+        if label in self._succ[source].get(target, {}):
+            raise DuplicateEdgeError(
+                f"relationship {source!r} -[{label}]-> {target!r} already exists"
+            )
+        rel = Relationship(source, target, str(label), dict(attributes))
+        self._succ[source].setdefault(target, {})[rel.label] = rel
+        self._pred[target].setdefault(source, {})[rel.label] = rel
+        self._num_edges += 1
+        self._label_counts[rel.label] = self._label_counts.get(rel.label, 0) + 1
+        if reciprocal and not self.has_relationship(target, source, label):
+            self.add_relationship(target, source, label, **attributes)
+        return rel
+
+    def remove_relationship(self, source: UserId, target: UserId, label: str) -> None:
+        """Remove the relationship identified by ``(source, target, label)``."""
+        try:
+            rel = self._succ[self._require(source)][target][label]
+        except KeyError:
+            raise EdgeNotFoundError(source, target, label) from None
+        del self._succ[source][target][label]
+        if not self._succ[source][target]:
+            del self._succ[source][target]
+        del self._pred[target][source][label]
+        if not self._pred[target][source]:
+            del self._pred[target][source]
+        self._num_edges -= 1
+        self._label_counts[rel.label] -= 1
+        if not self._label_counts[rel.label]:
+            del self._label_counts[rel.label]
+
+    def has_relationship(self, source: UserId, target: UserId, label: Optional[str] = None) -> bool:
+        """Return whether a relationship exists from ``source`` to ``target``.
+
+        With ``label=None`` any label counts; otherwise the label must match.
+        """
+        edges = self._succ.get(source, {}).get(target)
+        if not edges:
+            return False
+        return True if label is None else label in edges
+
+    def get_relationship(self, source: UserId, target: UserId, label: str) -> Relationship:
+        """Return the :class:`Relationship` for the given triple."""
+        try:
+            return self._succ[source][target][label]
+        except KeyError:
+            raise EdgeNotFoundError(source, target, label) from None
+
+    def relationships(self) -> Iterator[Relationship]:
+        """Iterate over every relationship in the graph."""
+        for targets in self._succ.values():
+            for edges in targets.values():
+                yield from edges.values()
+
+    def out_relationships(self, user: UserId, label: Optional[str] = None) -> Iterator[Relationship]:
+        """Iterate over relationships going out of ``user`` (optionally filtered by label)."""
+        for edges in self._succ[self._require(user)].values():
+            for rel in edges.values():
+                if label is None or rel.label == label:
+                    yield rel
+
+    def in_relationships(self, user: UserId, label: Optional[str] = None) -> Iterator[Relationship]:
+        """Iterate over relationships coming into ``user`` (optionally filtered by label)."""
+        for edges in self._pred[self._require(user)].values():
+            for rel in edges.values():
+                if label is None or rel.label == label:
+                    yield rel
+
+    def successors(self, user: UserId, label: Optional[str] = None) -> Iterator[UserId]:
+        """Iterate over users reachable from ``user`` by one (label-matching) edge."""
+        for target, edges in self._succ[self._require(user)].items():
+            if label is None or label in edges:
+                yield target
+
+    def predecessors(self, user: UserId, label: Optional[str] = None) -> Iterator[UserId]:
+        """Iterate over users with a (label-matching) edge into ``user``."""
+        for source, edges in self._pred[self._require(user)].items():
+            if label is None or label in edges:
+                yield source
+
+    def neighbors(self, user: UserId, label: Optional[str] = None) -> Iterator[UserId]:
+        """Iterate over users adjacent to ``user`` in either direction (deduplicated)."""
+        seen = set()
+        for other in self.successors(user, label):
+            if other not in seen:
+                seen.add(other)
+                yield other
+        for other in self.predecessors(user, label):
+            if other not in seen:
+                seen.add(other)
+                yield other
+
+    # ----------------------------------------------------------------- sizes
+
+    def number_of_users(self) -> int:
+        """Return ``|V|``."""
+        return len(self._nodes)
+
+    def number_of_relationships(self, label: Optional[str] = None) -> int:
+        """Return ``|E|``, or the number of edges with the given label."""
+        if label is None:
+            return self._num_edges
+        return self._label_counts.get(label, 0)
+
+    def labels(self) -> Tuple[str, ...]:
+        """Return the relationship-type alphabet (sorted for determinism)."""
+        return tuple(sorted(self._label_counts))
+
+    def out_degree(self, user: UserId, label: Optional[str] = None) -> int:
+        """Return the number of relationships going out of ``user``."""
+        return sum(1 for _ in self.out_relationships(user, label))
+
+    def in_degree(self, user: UserId, label: Optional[str] = None) -> int:
+        """Return the number of relationships coming into ``user``."""
+        return sum(1 for _ in self.in_relationships(user, label))
+
+    def degree(self, user: UserId, label: Optional[str] = None) -> int:
+        """Return the total (in + out) degree of ``user``."""
+        return self.out_degree(user, label) + self.in_degree(user, label)
+
+    # ------------------------------------------------------------- protocols
+
+    def __contains__(self, user: UserId) -> bool:
+        return self.has_user(user)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[UserId]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<SocialGraph{label}: {self.number_of_users()} users, "
+            f"{self.number_of_relationships()} relationships, "
+            f"{len(self._label_counts)} relationship types>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        if set(self._nodes) != set(other._nodes):
+            return False
+        for user, attrs in self._nodes.items():
+            if attrs != other._nodes[user]:
+                return False
+        mine = {rel.key(): dict(rel.attributes) for rel in self.relationships()}
+        theirs = {rel.key(): dict(rel.attributes) for rel in other.relationships()}
+        return mine == theirs
+
+    # ----------------------------------------------------------------- views
+
+    def copy(self, name: Optional[str] = None) -> "SocialGraph":
+        """Return a deep structural copy of the graph."""
+        clone = SocialGraph(name=self.name if name is None else name)
+        for user, attrs in self._nodes.items():
+            clone.add_user(user, **attrs)
+        for rel in self.relationships():
+            clone.add_relationship(rel.source, rel.target, rel.label, **dict(rel.attributes))
+        return clone
+
+    def subgraph(self, users: Iterable[UserId], name: str = "") -> "SocialGraph":
+        """Return the induced subgraph on ``users`` (unknown ids are ignored)."""
+        keep = {u for u in users if u in self._nodes}
+        sub = SocialGraph(name=name or (self.name + "-subgraph" if self.name else "subgraph"))
+        for user in keep:
+            sub.add_user(user, **self._nodes[user])
+        for rel in self.relationships():
+            if rel.source in keep and rel.target in keep:
+                sub.add_relationship(rel.source, rel.target, rel.label, **dict(rel.attributes))
+        return sub
+
+    def reversed(self, name: str = "") -> "SocialGraph":
+        """Return a copy of the graph with every relationship direction flipped."""
+        rev = SocialGraph(name=name or (self.name + "-reversed" if self.name else "reversed"))
+        for user, attrs in self._nodes.items():
+            rev.add_user(user, **attrs)
+        for rel in self.relationships():
+            rev.add_relationship(rel.target, rel.source, rel.label, **dict(rel.attributes))
+        return rev
+
+    # --------------------------------------------------------------- interop
+
+    def to_networkx(self):
+        """Return an equivalent :class:`networkx.MultiDiGraph`."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name)
+        for user, attrs in self._nodes.items():
+            graph.add_node(user, **attrs)
+        for rel in self.relationships():
+            graph.add_edge(rel.source, rel.target, key=rel.label, label=rel.label, **dict(rel.attributes))
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, label_attribute: str = "label", default_label: str = "friend") -> "SocialGraph":
+        """Build a :class:`SocialGraph` from a networkx directed (multi)graph.
+
+        Edge labels are read from ``label_attribute``; edges without one get
+        ``default_label``.  Parallel edges with the same label collapse into
+        one relationship.
+        """
+        sg = cls(name=str(graph.graph.get("name", "")))
+        for node, attrs in graph.nodes(data=True):
+            sg.add_user(node, **attrs)
+        for source, target, attrs in graph.edges(data=True):
+            label = attrs.get(label_attribute, default_label)
+            extra = {k: v for k, v in attrs.items() if k != label_attribute}
+            if not sg.has_relationship(source, target, label):
+                sg.add_relationship(source, target, label, **extra)
+        return sg
+
+    # --------------------------------------------------------------- private
+
+    def _require(self, user: UserId) -> UserId:
+        if user not in self._nodes:
+            raise NodeNotFoundError(user)
+        return user

@@ -1,0 +1,151 @@
+"""Descriptive statistics of social graphs.
+
+Used by the benchmark harness to characterize generated workloads (so that
+EXPERIMENTS.md can report the shape of each synthetic dataset) and by the
+examples to print a quick summary of the network being protected.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.social_graph import SocialGraph, UserId
+
+__all__ = ["GraphSummary", "degree_distribution", "label_distribution", "summarize",
+           "average_degree", "connected_component_sizes", "estimate_effective_diameter"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A compact description of a social graph's shape."""
+
+    name: str
+    users: int
+    relationships: int
+    labels: Tuple[str, ...]
+    label_counts: Dict[str, int]
+    average_out_degree: float
+    max_out_degree: int
+    weakly_connected_components: int
+    largest_component_size: int
+    effective_diameter: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the summary as a plain dictionary (for JSON reports)."""
+        return {
+            "name": self.name,
+            "users": self.users,
+            "relationships": self.relationships,
+            "labels": list(self.labels),
+            "label_counts": dict(self.label_counts),
+            "average_out_degree": self.average_out_degree,
+            "max_out_degree": self.max_out_degree,
+            "weakly_connected_components": self.weakly_connected_components,
+            "largest_component_size": self.largest_component_size,
+            "effective_diameter": self.effective_diameter,
+        }
+
+
+def degree_distribution(graph: SocialGraph, direction: str = "out") -> Dict[int, int]:
+    """Return a histogram mapping degree value to the number of users with it."""
+    if direction not in {"out", "in", "total"}:
+        raise ValueError("direction must be 'out', 'in' or 'total'")
+    counter: Counter = Counter()
+    for user in graph.users():
+        if direction == "out":
+            degree = graph.out_degree(user)
+        elif direction == "in":
+            degree = graph.in_degree(user)
+        else:
+            degree = graph.degree(user)
+        counter[degree] += 1
+    return dict(counter)
+
+
+def label_distribution(graph: SocialGraph) -> Dict[str, int]:
+    """Return the number of relationships per relationship type."""
+    return {label: graph.number_of_relationships(label) for label in graph.labels()}
+
+
+def average_degree(graph: SocialGraph) -> float:
+    """Return the average out-degree (|E| / |V|), 0.0 for the empty graph."""
+    n = graph.number_of_users()
+    return graph.number_of_relationships() / n if n else 0.0
+
+
+def connected_component_sizes(graph: SocialGraph) -> List[int]:
+    """Return the sizes of weakly connected components, largest first."""
+    unvisited = set(graph.users())
+    sizes: List[int] = []
+    while unvisited:
+        start = next(iter(unvisited))
+        queue = deque([start])
+        unvisited.discard(start)
+        size = 0
+        while queue:
+            user = queue.popleft()
+            size += 1
+            for neighbor in graph.neighbors(user):
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    queue.append(neighbor)
+        sizes.append(size)
+    sizes.sort(reverse=True)
+    return sizes
+
+
+def _bfs_distances(graph: SocialGraph, start: UserId) -> Dict[UserId, int]:
+    distances = {start: 0}
+    queue = deque([start])
+    while queue:
+        user = queue.popleft()
+        for neighbor in graph.neighbors(user):
+            if neighbor not in distances:
+                distances[neighbor] = distances[user] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def estimate_effective_diameter(
+    graph: SocialGraph,
+    samples: int = 20,
+    percentile: float = 0.9,
+) -> Optional[float]:
+    """Estimate the 90th-percentile pairwise distance by sampling BFS sources.
+
+    Returns ``None`` for graphs with fewer than two users.  Directions are
+    ignored (the measure describes the social topology, not a traversal).
+    """
+    users = list(graph.users())
+    if len(users) < 2:
+        return None
+    step = max(1, len(users) // samples)
+    all_distances: List[int] = []
+    for user in users[::step][:samples]:
+        distances = _bfs_distances(graph, user)
+        all_distances.extend(d for d in distances.values() if d > 0)
+    if not all_distances:
+        return None
+    all_distances.sort()
+    index = min(len(all_distances) - 1, int(percentile * len(all_distances)))
+    return float(all_distances[index])
+
+
+def summarize(graph: SocialGraph, *, diameter_samples: int = 20) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for the graph."""
+    out_degrees = [graph.out_degree(user) for user in graph.users()]
+    components = connected_component_sizes(graph)
+    return GraphSummary(
+        name=graph.name,
+        users=graph.number_of_users(),
+        relationships=graph.number_of_relationships(),
+        labels=graph.labels(),
+        label_counts=label_distribution(graph),
+        average_out_degree=(sum(out_degrees) / len(out_degrees)) if out_degrees else 0.0,
+        max_out_degree=max(out_degrees, default=0),
+        weakly_connected_components=len(components),
+        largest_component_size=components[0] if components else 0,
+        effective_diameter=estimate_effective_diameter(graph, samples=diameter_samples),
+    )

@@ -1,0 +1,141 @@
+"""Policy administration helpers: validation, conflict and redundancy analysis.
+
+The paper motivates its model with the observation that manual friend-list
+curation is "tedious and time-consuming"; rule authoring has failure modes of
+its own, so this module gives resource owners (and the examples / tests)
+tools to sanity-check a policy before relying on it:
+
+* :func:`validate_rule` — structural checks of one rule against a graph
+  (do the relationship types exist? are the depth intervals meaningful given
+  the graph? do attribute conditions reference attributes any user has?);
+* :func:`find_redundant_rules` — rules whose textual conditions duplicate
+  another rule on the same resource;
+* :func:`analyze_policy` — a whole-store report combining both plus simple
+  coverage information (resources without any rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graph.social_graph import SocialGraph
+from repro.policy.rules import AccessRule
+from repro.policy.store import PolicyStore
+
+__all__ = ["ValidationIssue", "PolicyReport", "validate_rule", "find_redundant_rules", "analyze_policy"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem (or warning) found while analysing a rule."""
+
+    severity: str            # "error" | "warning"
+    rule_id: Hashable
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] rule {self.rule_id!r}: {self.message}"
+
+
+@dataclass
+class PolicyReport:
+    """The result of analysing a whole policy store."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+    redundant_rules: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+    unprotected_resources: List[Hashable] = field(default_factory=list)
+
+    def errors(self) -> List[ValidationIssue]:
+        """Return only the error-severity issues."""
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    def warnings(self) -> List[ValidationIssue]:
+        """Return only the warning-severity issues."""
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    def is_clean(self) -> bool:
+        """Return whether the analysis found nothing to report."""
+        return not self.issues and not self.redundant_rules and not self.unprotected_resources
+
+
+def _known_attributes(graph: SocialGraph) -> Set[str]:
+    attributes: Set[str] = set()
+    for user in graph.users():
+        attributes.update(graph.attributes(user))
+    return attributes
+
+
+def validate_rule(rule: AccessRule, graph: SocialGraph) -> List[ValidationIssue]:
+    """Validate one rule against a graph; returns a (possibly empty) issue list."""
+    issues: List[ValidationIssue] = []
+    labels = set(graph.labels())
+    attributes = _known_attributes(graph)
+    if not graph.has_user(rule.owner):
+        issues.append(
+            ValidationIssue("error", rule.rule_id, f"owner {rule.owner!r} is not a user of the graph")
+        )
+    for condition in rule.conditions:
+        for step in condition.path:
+            if step.label not in labels:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        rule.rule_id,
+                        f"relationship type {step.label!r} does not exist in the graph "
+                        f"(known types: {sorted(labels)})",
+                    )
+                )
+            if step.max_depth() > max(1, graph.number_of_users() - 1):
+                issues.append(
+                    ValidationIssue(
+                        "warning",
+                        rule.rule_id,
+                        f"step {step.to_text()!r} allows depth {step.max_depth()}, larger than "
+                        f"any simple path in a graph of {graph.number_of_users()} users",
+                    )
+                )
+            for attribute_condition in step.conditions:
+                if attribute_condition.attribute not in attributes:
+                    issues.append(
+                        ValidationIssue(
+                            "warning",
+                            rule.rule_id,
+                            f"attribute {attribute_condition.attribute!r} is not set on any user; "
+                            f"the condition {attribute_condition.to_text()!r} can never hold",
+                        )
+                    )
+    return issues
+
+
+def _rule_signature(rule: AccessRule) -> Tuple:
+    return (
+        rule.resource_id,
+        rule.combination.value,
+        tuple(sorted(condition.describe() for condition in rule.conditions)),
+    )
+
+
+def find_redundant_rules(store: PolicyStore) -> List[Tuple[Hashable, Hashable]]:
+    """Return pairs of rule ids on the same resource with identical conditions."""
+    seen: Dict[Tuple, Hashable] = {}
+    redundant: List[Tuple[Hashable, Hashable]] = []
+    for rule in store.rules():
+        signature = _rule_signature(rule)
+        if signature in seen:
+            redundant.append((seen[signature], rule.rule_id))
+        else:
+            seen[signature] = rule.rule_id
+    return redundant
+
+
+def analyze_policy(store: PolicyStore, graph: SocialGraph) -> PolicyReport:
+    """Analyse every rule of a store against a graph and return a report."""
+    report = PolicyReport()
+    for rule in store.rules():
+        report.issues.extend(validate_rule(rule, graph))
+    report.redundant_rules = find_redundant_rules(store)
+    for resource in store.resources():
+        if not store.rules_for(resource.resource_id):
+            report.unprotected_resources.append(resource.resource_id)
+    return report

@@ -1,0 +1,115 @@
+"""Append-only audit log of access decisions.
+
+Access-control systems are only as trustworthy as their audit trail.  The
+:class:`AuditLog` records every :class:`~repro.policy.decisions.AccessDecision`
+made by the engine, supports filtering (by requester, resource, effect) and
+simple aggregation (grant rate, busiest resources), and serializes to JSON
+for offline analysis.  The benchmark harness also uses it to count decisions
+per second.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.policy.decisions import AccessDecision, Effect
+
+__all__ = ["AuditLog"]
+
+
+class AuditLog:
+    """An in-memory, append-only sequence of access decisions."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds the log size; older entries are dropped when exceeded."""
+        self._entries: List[AccessDecision] = []
+        self._capacity = capacity
+
+    # --------------------------------------------------------------- record
+
+    def record(self, decision: AccessDecision) -> None:
+        """Append one decision to the log."""
+        self._entries.append(decision)
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            del self._entries[: len(self._entries) - self._capacity]
+
+    # ---------------------------------------------------------------- query
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AccessDecision]:
+        return iter(self._entries)
+
+    def entries(self) -> List[AccessDecision]:
+        """Return all recorded decisions (oldest first)."""
+        return list(self._entries)
+
+    def for_requester(self, requester: Hashable) -> List[AccessDecision]:
+        """Return the decisions concerning one requester."""
+        return [entry for entry in self._entries if entry.requester == requester]
+
+    def for_resource(self, resource_id: Hashable) -> List[AccessDecision]:
+        """Return the decisions concerning one resource."""
+        return [entry for entry in self._entries if entry.resource_id == resource_id]
+
+    def grants(self) -> List[AccessDecision]:
+        """Return only the granted decisions."""
+        return [entry for entry in self._entries if entry.granted]
+
+    def denials(self) -> List[AccessDecision]:
+        """Return only the denied decisions."""
+        return [entry for entry in self._entries if not entry.granted]
+
+    # ------------------------------------------------------------ aggregate
+
+    def grant_rate(self) -> float:
+        """Fraction of requests that were granted (0.0 for an empty log)."""
+        if not self._entries:
+            return 0.0
+        return len(self.grants()) / len(self._entries)
+
+    def requests_per_resource(self) -> Dict[Hashable, int]:
+        """Return how many requests each resource received."""
+        return dict(Counter(entry.resource_id for entry in self._entries))
+
+    def requests_per_requester(self) -> Dict[Hashable, int]:
+        """Return how many requests each requester issued."""
+        return dict(Counter(entry.requester for entry in self._entries))
+
+    def average_latency(self) -> float:
+        """Return the mean decision latency in seconds (0.0 for an empty log)."""
+        if not self._entries:
+            return 0.0
+        return sum(entry.elapsed_seconds for entry in self._entries) / len(self._entries)
+
+    # ------------------------------------------------------------ serialize
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialize the log to JSON (decisions are flattened; witnesses become node lists)."""
+        payload = []
+        for entry in self._entries:
+            payload.append(
+                {
+                    "effect": entry.effect.value,
+                    "resource_id": str(entry.resource_id),
+                    "owner": str(entry.owner),
+                    "requester": str(entry.requester),
+                    "reason": entry.reason,
+                    "elapsed_seconds": entry.elapsed_seconds,
+                    "timestamp": entry.timestamp,
+                    "witnesses": [
+                        [str(node) for node in path.nodes()] for path in entry.witnesses()
+                    ],
+                }
+            )
+        return json.dumps(payload, indent=indent)
+
+    def clear(self) -> None:
+        """Drop every recorded decision."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"<AuditLog: {len(self._entries)} decisions, grant rate {self.grant_rate():.2f}>"

@@ -1,0 +1,166 @@
+"""Baseline access-control model: Carminati, Ferrari & Perego (2006).
+
+The paper positions its contribution against the rule-based model of
+Carminati et al., which "introduced trust and distance in the social graph as
+key criteria for access rules.  The target of an access authorization is
+specified as a sub-graph based on one simple relationship (friendship, for
+instance), having in its center the owner of the resource with a fixed
+radius" (Section 4).
+
+This module implements that baseline so the benchmarks can compare the two
+models on the same workloads:
+
+* a :class:`CarminatiRule` authorizes requesters connected to the owner by a
+  path of at most ``max_depth`` edges of one single relationship type, whose
+  aggregated trust (the product of the edge trust values, edges without a
+  trust attribute counting as 1.0) is at least ``min_trust``;
+* :class:`CarminatiEngine` evaluates requests with a bounded BFS.
+
+The expressiveness gap with the reachability-based model is deliberate and is
+what experiment PERF-5 measures: multi-relationship sequences, edge
+directions per step, per-step depth intervals and attribute conditions cannot
+be written as Carminati rules.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.exceptions import ResourceNotFoundError, RuleValidationError
+from repro.graph.social_graph import SocialGraph
+from repro.policy.decisions import AccessDecision, Effect
+
+__all__ = ["CarminatiRule", "CarminatiEngine"]
+
+
+@dataclass(frozen=True)
+class CarminatiRule:
+    """A (relationship type, max depth, min trust) authorization for one resource."""
+
+    resource_id: Hashable
+    owner: Hashable
+    relationship: str
+    max_depth: int = 1
+    min_trust: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise RuleValidationError(f"max_depth must be >= 1, got {self.max_depth}")
+        if not 0.0 <= self.min_trust <= 1.0:
+            raise RuleValidationError(f"min_trust must be in [0, 1], got {self.min_trust}")
+
+    def describe(self) -> str:
+        """Return a one-line description of the rule."""
+        return (
+            f"resource {self.resource_id!r}: {self.relationship} within {self.max_depth} hop(s) "
+            f"of {self.owner!r} with trust >= {self.min_trust}"
+        )
+
+
+class CarminatiEngine:
+    """Evaluate access requests under the depth + trust baseline model."""
+
+    def __init__(self, graph: SocialGraph, *, trust_attribute: str = "trust") -> None:
+        self.graph = graph
+        self.trust_attribute = trust_attribute
+        self._rules: Dict[Hashable, List[CarminatiRule]] = {}
+        self._owners: Dict[Hashable, Hashable] = {}
+
+    # ---------------------------------------------------------------- rules
+
+    def add_rule(self, rule: CarminatiRule) -> CarminatiRule:
+        """Register one rule (also registering the resource and its owner)."""
+        known_owner = self._owners.get(rule.resource_id)
+        if known_owner is not None and known_owner != rule.owner:
+            raise RuleValidationError(
+                f"resource {rule.resource_id!r} is owned by {known_owner!r}, not {rule.owner!r}"
+            )
+        self._owners[rule.resource_id] = rule.owner
+        self._rules.setdefault(rule.resource_id, []).append(rule)
+        return rule
+
+    def rules_for(self, resource_id: Hashable) -> List[CarminatiRule]:
+        """Return the rules protecting one resource."""
+        if resource_id not in self._owners:
+            raise ResourceNotFoundError(resource_id)
+        return list(self._rules.get(resource_id, []))
+
+    # ------------------------------------------------------------------ api
+
+    def check_access(self, requester: Hashable, resource_id: Hashable) -> AccessDecision:
+        """Evaluate one access request under the baseline semantics."""
+        started = time.perf_counter()
+        if resource_id not in self._owners:
+            raise ResourceNotFoundError(resource_id)
+        owner = self._owners[resource_id]
+        if requester == owner:
+            effect, reason = Effect.GRANT, "requester is the resource owner"
+        else:
+            matched = any(
+                self._satisfies(rule, requester) for rule in self._rules.get(resource_id, [])
+            )
+            effect = Effect.GRANT if matched else Effect.DENY
+            reason = (
+                "a depth/trust rule authorizes the requester"
+                if matched
+                else "no depth/trust rule authorizes the requester"
+            )
+        return AccessDecision(
+            effect=effect,
+            resource_id=resource_id,
+            owner=owner,
+            requester=requester,
+            reason=reason,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def is_allowed(self, requester: Hashable, resource_id: Hashable) -> bool:
+        """Boolean-only form of :meth:`check_access`."""
+        return self.check_access(requester, resource_id).granted
+
+    def authorized_audience(self, resource_id: Hashable) -> Set[Hashable]:
+        """Return every user authorized for a resource (owner included)."""
+        if resource_id not in self._owners:
+            raise ResourceNotFoundError(resource_id)
+        audience: Set[Hashable] = {self._owners[resource_id]}
+        for rule in self._rules.get(resource_id, []):
+            audience |= set(self._reachable_with_trust(rule))
+        return audience
+
+    # -------------------------------------------------------------- search
+
+    def _satisfies(self, rule: CarminatiRule, requester: Hashable) -> bool:
+        return requester in self._reachable_with_trust(rule, stop_at=requester)
+
+    def _reachable_with_trust(
+        self,
+        rule: CarminatiRule,
+        stop_at: Optional[Hashable] = None,
+    ) -> Dict[Hashable, float]:
+        """Bounded BFS keeping, per user, the best aggregated trust seen so far."""
+        if not self.graph.has_user(rule.owner):
+            return {}
+        best: Dict[Hashable, float] = {}
+        queue = deque([(rule.owner, 0, 1.0)])
+        seen_best: Dict[Hashable, float] = {rule.owner: 1.0}
+        while queue:
+            user, depth, trust = queue.popleft()
+            if depth >= rule.max_depth:
+                continue
+            for relationship in self.graph.out_relationships(user, rule.relationship):
+                edge_trust = float(relationship.attributes.get(self.trust_attribute, 1.0))
+                aggregated = trust * edge_trust
+                neighbor = relationship.target
+                if aggregated < rule.min_trust:
+                    continue
+                if aggregated <= seen_best.get(neighbor, 0.0):
+                    continue
+                seen_best[neighbor] = aggregated
+                best[neighbor] = max(best.get(neighbor, 0.0), aggregated)
+                if stop_at is not None and neighbor == stop_at:
+                    return best
+                queue.append((neighbor, depth + 1, aggregated))
+        return best

@@ -1,0 +1,152 @@
+"""Attribute conditions on user properties.
+
+The last component ``C`` of a step ``(r, dir, I, C)`` in an access condition
+(Definition 3) is "the set of conditions on user properties": constraints on
+the attribute tuple ``nu(v)`` of the user reached by the step, e.g.
+``age >= 18`` or ``gender = female``.  :class:`AttributeCondition` models one
+such constraint and knows how to evaluate itself against an attribute
+mapping; the textual form it parses from / prints to is the one used inside
+``{...}`` blocks of path expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import UnknownOperatorError
+
+__all__ = ["AttributeCondition", "evaluate_conditions"]
+
+
+def _as_number(value: Any) -> Any:
+    """Best-effort numeric coercion so that '18' and 18 compare equal."""
+    if isinstance(value, bool) or not isinstance(value, str):
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+
+def _compare(op: Callable[[Any, Any], bool], left: Any, right: Any) -> bool:
+    left, right = _as_number(left), _as_number(right)
+    try:
+        return op(left, right)
+    except TypeError:
+        # Incomparable types (e.g. ordering a string against a number): the
+        # condition simply does not hold rather than crashing the evaluation.
+        return False
+
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: _compare(lambda x, y: x == y, a, b),
+    "==": lambda a, b: _compare(lambda x, y: x == y, a, b),
+    "!=": lambda a, b: _compare(lambda x, y: x != y, a, b),
+    "<": lambda a, b: _compare(lambda x, y: x < y, a, b),
+    "<=": lambda a, b: _compare(lambda x, y: x <= y, a, b),
+    ">": lambda a, b: _compare(lambda x, y: x > y, a, b),
+    ">=": lambda a, b: _compare(lambda x, y: x >= y, a, b),
+    "in": lambda a, b: a in b if isinstance(b, (list, tuple, set, frozenset, str)) else False,
+    "~": lambda a, b: (str(b).lower() in str(a).lower()) if a is not None else False,
+}
+
+# Longest operators first so that '>=' is not tokenized as '>' + '='.
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<attribute>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?P<operator>==|!=|<=|>=|=|<|>|~|\bin\b)\s*"
+    r"(?P<value>.+?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """One constraint ``attribute <operator> value`` on a user's attributes.
+
+    Supported operators: ``= == != < <= > >=`` (comparisons with numeric
+    coercion), ``in`` (membership of the attribute value in a list literal),
+    and ``~`` (case-insensitive substring containment).
+
+    A user with no value for the attribute never satisfies the condition.
+    """
+
+    attribute: str
+    operator: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise UnknownOperatorError(
+                f"unsupported operator {self.operator!r}; "
+                f"expected one of {sorted(_OPERATORS)}"
+            )
+
+    def evaluate(self, attributes: Mapping[str, Any]) -> bool:
+        """Return whether the attribute mapping satisfies this condition."""
+        if self.attribute not in attributes:
+            return False
+        return _OPERATORS[self.operator](attributes[self.attribute], self.value)
+
+    # ------------------------------------------------------------- text form
+
+    @classmethod
+    def parse(cls, text: str) -> "AttributeCondition":
+        """Parse a condition from its textual form, e.g. ``"age >= 18"``.
+
+        Value literals: integers and floats are converted, ``true``/``false``
+        become booleans, a ``[a, b, c]`` literal becomes a tuple (for ``in``),
+        anything else (optionally quoted) stays a string.
+        """
+        match = _CONDITION_RE.match(text)
+        if match is None:
+            raise UnknownOperatorError(f"cannot parse attribute condition {text!r}")
+        attribute = match.group("attribute")
+        operator = match.group("operator")
+        raw_value = match.group("value")
+        if raw_value[:1] in {"<", ">", "=", "!", "~"}:
+            # e.g. "age >>> 3": the operator was cut short and the rest leaked
+            # into the value — reject instead of silently comparing garbage.
+            raise UnknownOperatorError(f"cannot parse attribute condition {text!r}")
+        value = cls._parse_value(raw_value)
+        return cls(attribute, operator, value)
+
+    @staticmethod
+    def _parse_value(raw: str) -> Any:
+        raw = raw.strip()
+        if raw.startswith("[") and raw.endswith("]"):
+            inner = raw[1:-1].strip()
+            if not inner:
+                return ()
+            return tuple(AttributeCondition._parse_value(part) for part in inner.split(","))
+        if (raw.startswith("'") and raw.endswith("'")) or (raw.startswith('"') and raw.endswith('"')):
+            return raw[1:-1]
+        lowered = raw.lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return _as_number(raw)
+
+    def to_text(self) -> str:
+        """Return the canonical textual form of the condition."""
+        if isinstance(self.value, (tuple, list, set, frozenset)):
+            rendered = "[" + ", ".join(str(item) for item in self.value) + "]"
+        else:
+            rendered = str(self.value)
+        operator = "=" if self.operator == "==" else self.operator
+        return f"{self.attribute} {operator} {rendered}"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def evaluate_conditions(
+    conditions: Iterable[AttributeCondition],
+    attributes: Mapping[str, Any],
+) -> bool:
+    """Return whether the attribute mapping satisfies every condition (AND)."""
+    return all(condition.evaluate(attributes) for condition in conditions)

@@ -1,0 +1,117 @@
+"""Access decisions and their explanations.
+
+Every access request produces an :class:`AccessDecision` that records not
+only grant/deny but *why*: which rule matched, which access conditions were
+evaluated, and — when the evaluator was asked for witnesses — the concrete
+social-graph path linking the owner to the requester.  The audit log stores
+these decisions; the examples print them.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.graph.paths import Path
+from repro.policy.rules import AccessCondition, AccessRule
+
+__all__ = ["Effect", "ConditionOutcome", "RuleOutcome", "AccessDecision"]
+
+
+class Effect(enum.Enum):
+    """The outcome of an access request."""
+
+    GRANT = "grant"
+    DENY = "deny"
+
+    def __bool__(self) -> bool:
+        return self is Effect.GRANT
+
+
+@dataclass(frozen=True)
+class ConditionOutcome:
+    """Evaluation outcome of one access condition."""
+
+    condition: AccessCondition
+    satisfied: bool
+    witness: Optional[Path] = None
+
+    def describe(self) -> str:
+        """Return a one-line description of the outcome."""
+        status = "satisfied" if self.satisfied else "not satisfied"
+        text = f"{self.condition.describe()}: {status}"
+        if self.witness is not None and self.satisfied:
+            text += f" via {' -> '.join(str(node) for node in self.witness.nodes())}"
+        return text
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """Evaluation outcome of one access rule (all of its conditions)."""
+
+    rule: AccessRule
+    satisfied: bool
+    condition_outcomes: Tuple[ConditionOutcome, ...] = ()
+
+    def describe(self) -> str:
+        """Return a multi-line description of the outcome."""
+        status = "SATISFIED" if self.satisfied else "not satisfied"
+        lines = [f"rule {self.rule.rule_id!r}: {status}"]
+        lines.extend(f"  {outcome.describe()}" for outcome in self.condition_outcomes)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The result of evaluating an access request."""
+
+    effect: Effect
+    resource_id: Hashable
+    owner: Hashable
+    requester: Hashable
+    rule_outcomes: Tuple[RuleOutcome, ...] = ()
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    timestamp: float = field(default_factory=time.time)
+
+    @property
+    def granted(self) -> bool:
+        """Whether access was granted."""
+        return self.effect is Effect.GRANT
+
+    def matched_rule(self) -> Optional[AccessRule]:
+        """Return the first satisfied rule, if any."""
+        for outcome in self.rule_outcomes:
+            if outcome.satisfied:
+                return outcome.rule
+        return None
+
+    def witnesses(self) -> List[Path]:
+        """Return every witness path collected while evaluating the request."""
+        paths: List[Path] = []
+        for rule_outcome in self.rule_outcomes:
+            for outcome in rule_outcome.condition_outcomes:
+                if outcome.witness is not None:
+                    paths.append(outcome.witness)
+        return paths
+
+    def explain(self) -> str:
+        """Return a human-readable explanation of the decision."""
+        verdict = "GRANTED" if self.granted else "DENIED"
+        lines = [
+            f"access to resource {self.resource_id!r} (owner {self.owner!r}) "
+            f"requested by {self.requester!r}: {verdict}"
+        ]
+        if self.reason:
+            lines.append(f"reason: {self.reason}")
+        for outcome in self.rule_outcomes:
+            lines.append(outcome.describe())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+    def __bool__(self) -> bool:
+        return self.granted

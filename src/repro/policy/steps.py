@@ -1,0 +1,132 @@
+"""Steps and depth intervals of an access condition (Definition 3).
+
+An access condition is a sequence of ordered *steps*; each step is a tuple
+``(r, dir, I, C)`` where
+
+* ``r`` is a relationship type (edge label),
+* ``dir`` is the authorized edge orientation: ``+`` (outgoing), ``-``
+  (incoming) or ``*`` (either),
+* ``I`` is the set of authorized depth levels — here a closed integer
+  interval ``[lo, hi]`` (the common case; a single depth is ``[d, d]``),
+* ``C`` is a set of :class:`~repro.policy.conditions.AttributeCondition`
+  constraints on the user reached at the end of the step.
+
+A step matches a run of ``d`` consecutive edges, all labelled ``r`` and all
+traversed in an authorized direction, with ``d`` in ``I``, ending at a user
+satisfying ``C``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Tuple
+
+from repro.exceptions import RuleValidationError
+from repro.policy.conditions import AttributeCondition, evaluate_conditions
+
+__all__ = ["Direction", "DepthInterval", "Step"]
+
+
+class Direction(enum.Enum):
+    """Authorized edge orientation of a step."""
+
+    OUTGOING = "+"
+    INCOMING = "-"
+    ANY = "*"
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Direction":
+        """Map a textual direction symbol to the enum member."""
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise RuleValidationError(f"unknown direction symbol {symbol!r}; expected one of + - *")
+
+    def allows_forward(self) -> bool:
+        """Whether an edge may be traversed from its source to its target."""
+        return self in (Direction.OUTGOING, Direction.ANY)
+
+    def allows_backward(self) -> bool:
+        """Whether an edge may be traversed from its target to its source."""
+        return self in (Direction.INCOMING, Direction.ANY)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class DepthInterval:
+    """A closed interval ``[minimum, maximum]`` of authorized depths.
+
+    Depths are positive edge counts: ``DepthInterval(1, 2)`` reads "one or two
+    hops".  The default interval is ``[1, 1]`` (a direct relationship).
+    """
+
+    minimum: int = 1
+    maximum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.minimum < 1:
+            raise RuleValidationError(f"depth minimum must be >= 1, got {self.minimum}")
+        if self.maximum < self.minimum:
+            raise RuleValidationError(
+                f"depth maximum ({self.maximum}) must be >= minimum ({self.minimum})"
+            )
+
+    def __contains__(self, depth: object) -> bool:
+        return isinstance(depth, int) and self.minimum <= depth <= self.maximum
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.minimum, self.maximum + 1))
+
+    def width(self) -> int:
+        """Return the number of authorized depths."""
+        return self.maximum - self.minimum + 1
+
+    def to_text(self) -> str:
+        """Render the interval as it appears in path expressions."""
+        if self.minimum == self.maximum:
+            return f"[{self.minimum}]"
+        return f"[{self.minimum},{self.maximum}]"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step ``(r, dir, I, C)`` of an access condition."""
+
+    label: str
+    direction: Direction = Direction.OUTGOING
+    depths: DepthInterval = field(default_factory=DepthInterval)
+    conditions: Tuple[AttributeCondition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise RuleValidationError("a step needs a non-empty relationship label")
+
+    def satisfied_by(self, attributes: Mapping[str, Any]) -> bool:
+        """Return whether a user's attributes satisfy the step's conditions ``C``."""
+        return evaluate_conditions(self.conditions, attributes)
+
+    def max_depth(self) -> int:
+        """The largest authorized depth of the step."""
+        return self.depths.maximum
+
+    def min_depth(self) -> int:
+        """The smallest authorized depth of the step."""
+        return self.depths.minimum
+
+    def to_text(self) -> str:
+        """Render the step in path-expression syntax (``friend+[1,2]{age>=18}``)."""
+        text = self.label
+        text += str(self.direction)
+        text += self.depths.to_text()
+        if self.conditions:
+            text += "{" + ", ".join(condition.to_text() for condition in self.conditions) + "}"
+        return text
+
+    def __str__(self) -> str:
+        return self.to_text()

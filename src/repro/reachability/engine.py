@@ -1,0 +1,138 @@
+"""The unified reachability engine: backend registry and facade.
+
+Four interchangeable backends evaluate ordered label-constraint reachability
+queries:
+
+``bfs``
+    Online constrained breadth-first search — no precomputation, the paper's
+    straightforward baseline and the correctness oracle.
+``dfs``
+    Online constrained depth-first search (same semantics, different order).
+``transitive-closure``
+    Full transitive-closure precomputation used to prune, plus constrained
+    search for the survivors — the paper's second baseline.
+``cluster-index``
+    The paper's proposal: line graph + SCC condensation + interval labeling +
+    2-hop cover + cluster-based join index + post-processing.
+
+:func:`create_evaluator` builds any of them by name;
+:class:`ReachabilityEngine` wraps one backend behind a stable facade used by
+the access-control engine, the examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Union
+
+from repro.exceptions import UnknownBackendError
+from repro.graph.social_graph import SocialGraph
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.dfs import OnlineDFSEvaluator
+from repro.reachability.result import EvaluationResult
+from repro.reachability.transitive_closure import TransitiveClosureEvaluator
+
+__all__ = [
+    "BACKENDS",
+    "available_backends",
+    "create_evaluator",
+    "ReachabilityEngine",
+]
+
+EvaluatorFactory = Callable[..., object]
+
+BACKENDS: Dict[str, EvaluatorFactory] = {
+    "bfs": OnlineBFSEvaluator,
+    "dfs": OnlineDFSEvaluator,
+    "transitive-closure": TransitiveClosureEvaluator,
+    "cluster-index": ClusterIndexEvaluator,
+}
+
+
+def available_backends() -> List[str]:
+    """Return the registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def create_evaluator(backend: str, graph: SocialGraph, *, build: bool = True, **options):
+    """Instantiate (and by default build) the named backend over ``graph``.
+
+    ``options`` are forwarded to the backend constructor (e.g.
+    ``include_reverse=False`` for the cluster index).
+    """
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise UnknownBackendError(backend, available_backends()) from None
+    evaluator = factory(graph, **options)
+    if build:
+        evaluator.build()
+    return evaluator
+
+
+class ReachabilityEngine:
+    """Facade over one evaluation backend, with convenience query forms."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        backend: Union[str, object] = "bfs",
+        *,
+        build: bool = True,
+        **options,
+    ) -> None:
+        self.graph = graph
+        if isinstance(backend, str):
+            self._evaluator = create_evaluator(backend, graph, build=build, **options)
+        else:
+            self._evaluator = backend
+        self.backend_name = getattr(self._evaluator, "name", type(self._evaluator).__name__)
+
+    @property
+    def evaluator(self):
+        """The underlying backend instance."""
+        return self._evaluator
+
+    # ------------------------------------------------------------------ api
+
+    def evaluate(
+        self,
+        source: Hashable,
+        target: Hashable,
+        expression: Union[str, PathExpression],
+        *,
+        collect_witness: bool = True,
+    ) -> EvaluationResult:
+        """Evaluate one query; ``expression`` may be a string or a parsed expression."""
+        if isinstance(expression, str):
+            expression = PathExpression.parse(expression)
+        return self._evaluator.evaluate(
+            source, target, expression, collect_witness=collect_witness
+        )
+
+    def is_reachable(
+        self,
+        source: Hashable,
+        target: Hashable,
+        expression: Union[str, PathExpression],
+    ) -> bool:
+        """Boolean-only form of :meth:`evaluate`."""
+        return self.evaluate(source, target, expression, collect_witness=False).reachable
+
+    def find_targets(
+        self,
+        source: Hashable,
+        expression: Union[str, PathExpression],
+    ) -> Set[Hashable]:
+        """Return every user reachable from ``source`` under ``expression``."""
+        if isinstance(expression, str):
+            expression = PathExpression.parse(expression)
+        return self._evaluator.find_targets(source, expression)
+
+    def statistics(self) -> Dict[str, float]:
+        """Return the backend's index statistics (size, build time...)."""
+        return dict(self._evaluator.statistics())
+
+    def __repr__(self) -> str:
+        return f"<ReachabilityEngine backend={self.backend_name!r} over {self.graph!r}>"

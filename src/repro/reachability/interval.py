@@ -1,0 +1,269 @@
+"""Interval labeling of DAGs (Agrawal et al.) and the reachability table of Figure 5.
+
+Section 3.2 of the paper labels the condensation DAG of the line graph with
+the classic Agrawal–Borgida–Jagadish scheme:
+
+1. build an **optimum tree cover**: traverse the DAG in topological order
+   and, for each node, keep only the incoming edge whose parent "has the
+   least number of predecessors";
+2. assign every tree node its **postorder number**;
+3. give every node an **interval** ``[lowest postorder among its descendants,
+   own postorder]``, then propagate the intervals of non-tree successors in
+   reverse topological order (merging and discarding subsumed intervals) so
+   that the final label captures full DAG reachability:
+   ``u`` reaches ``v``  iff  ``postorder(v)`` falls inside one of ``u``'s
+   intervals.
+
+The same processing is applied to the reversed DAG (``G2``), "which can tell
+which nodes can reach u, fast"; both labelings side by side form the
+**reachability table** of Figure 5 (postorder↓ / intervals↓ from G1,
+postorder↑ / intervals↑ from G2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReachabilityError
+from repro.reachability.scc import Condensation, condense
+
+__all__ = ["topological_order", "IntervalLabeling", "ReachabilityTable"]
+
+Adjacency = Mapping[Hashable, Iterable[Hashable]]
+Interval = Tuple[int, int]
+
+
+def topological_order(adjacency: Adjacency) -> List[Hashable]:
+    """Return a topological order of a DAG (raises on cycles).
+
+    Kahn's algorithm; ties are broken by string order so the result — and
+    therefore every postorder number downstream — is deterministic.
+    """
+    nodes: Set[Hashable] = set(adjacency)
+    for successors in adjacency.values():
+        nodes.update(successors)
+    in_degree: Dict[Hashable, int] = {node: 0 for node in nodes}
+    for successors in adjacency.values():
+        for successor in successors:
+            in_degree[successor] += 1
+    ready = sorted((node for node, degree in in_degree.items() if degree == 0), key=str)
+    order: List[Hashable] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for successor in sorted(adjacency.get(node, ()), key=str):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+        ready.sort(key=str)
+    if len(order) != len(nodes):
+        raise ReachabilityError("graph has a cycle; interval labeling needs a DAG")
+    return order
+
+
+def _merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Merge overlapping / adjacent intervals and drop subsumed ones."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for low, high in intervals[1:]:
+        last_low, last_high = merged[-1]
+        if low <= last_high + 1:
+            merged[-1] = (last_low, max(last_high, high))
+        else:
+            merged.append((low, high))
+    return merged
+
+
+class IntervalLabeling:
+    """Agrawal interval labeling of one DAG (postorder numbers + interval sets)."""
+
+    def __init__(self, adjacency: Adjacency) -> None:
+        self._adjacency: Dict[Hashable, Set[Hashable]] = {
+            node: set(successors) for node, successors in adjacency.items()
+        }
+        for successors in list(self._adjacency.values()):
+            for successor in successors:
+                self._adjacency.setdefault(successor, set())
+        self._order = topological_order(self._adjacency)
+        self.postorder: Dict[Hashable, int] = {}
+        self.intervals: Dict[Hashable, List[Interval]] = {}
+        self.tree_parent: Dict[Hashable, Optional[Hashable]] = {}
+        self._build()
+
+    # ---------------------------------------------------------------- build
+
+    def _build(self) -> None:
+        predecessors: Dict[Hashable, List[Hashable]] = {node: [] for node in self._adjacency}
+        for node, successors in self._adjacency.items():
+            for successor in successors:
+                predecessors[successor].append(node)
+
+        # Ancestor counts, used to pick "the incoming edge that has the least
+        # number of predecessors" for the tree cover.
+        ancestor_counts = self._ancestor_counts(predecessors)
+
+        tree_children: Dict[Hashable, List[Hashable]] = {node: [] for node in self._adjacency}
+        for node in self._order:
+            parents = predecessors[node]
+            if not parents:
+                self.tree_parent[node] = None
+                continue
+            chosen = min(parents, key=lambda parent: (ancestor_counts[parent], str(parent)))
+            self.tree_parent[node] = chosen
+            tree_children[chosen].append(node)
+
+        # Postorder numbering over the tree cover (a forest).
+        counter = 0
+        subtree_low: Dict[Hashable, int] = {}
+        roots = [node for node in self._order if self.tree_parent[node] is None]
+        for root in roots:
+            counter = self._assign_postorder(root, tree_children, counter, subtree_low)
+
+        # Tree intervals, then non-tree propagation in reverse topological order.
+        for node in self._adjacency:
+            self.intervals[node] = [(subtree_low[node], self.postorder[node])]
+        for node in reversed(self._order):
+            collected = list(self.intervals[node])
+            for successor in self._adjacency[node]:
+                collected.extend(self.intervals[successor])
+            self.intervals[node] = _merge_intervals(collected)
+
+    def _ancestor_counts(self, predecessors: Dict[Hashable, List[Hashable]]) -> Dict[Hashable, int]:
+        position = {node: index for index, node in enumerate(self._order)}
+        ancestors: Dict[Hashable, int] = {}
+        bitsets: Dict[Hashable, int] = {}
+        for node in self._order:
+            bits = 0
+            for parent in predecessors[node]:
+                bits |= bitsets[parent] | (1 << position[parent])
+            bitsets[node] = bits
+            ancestors[node] = bin(bits).count("1")
+        return ancestors
+
+    def _assign_postorder(
+        self,
+        root: Hashable,
+        tree_children: Dict[Hashable, List[Hashable]],
+        counter: int,
+        subtree_low: Dict[Hashable, int],
+    ) -> int:
+        # Iterative postorder: (node, visited-flag) stack.
+        stack: List[Tuple[Hashable, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                counter += 1
+                self.postorder[node] = counter
+                children = tree_children[node]
+                lows = [subtree_low[child] for child in children]
+                subtree_low[node] = min(lows + [counter])
+                continue
+            stack.append((node, True))
+            for child in sorted(tree_children[node], key=str, reverse=True):
+                stack.append((child, False))
+        return counter
+
+    # -------------------------------------------------------------- queries
+
+    def reaches(self, source: Hashable, target: Hashable) -> bool:
+        """Return whether ``target`` is reachable from ``source`` in the DAG."""
+        if source == target:
+            return True
+        target_number = self.postorder[target]
+        return any(low <= target_number <= high for low, high in self.intervals[source])
+
+    def label_size(self) -> int:
+        """Total number of stored intervals (the index-size metric)."""
+        return sum(len(intervals) for intervals in self.intervals.values())
+
+    def nodes(self) -> List[Hashable]:
+        """Return the labelled nodes in topological order."""
+        return list(self._order)
+
+
+@dataclass
+class ReachabilityTableRow:
+    """One row of the Figure 5 reachability table."""
+
+    node: Hashable
+    postorder_down: int
+    intervals_down: List[Interval]
+    postorder_up: int
+    intervals_up: List[Interval]
+
+    def format(self) -> str:
+        """Render the row roughly as printed in the paper."""
+        def render(intervals: List[Interval]) -> str:
+            return ";".join(f"[{low},{high}]" for low, high in intervals)
+
+        return (
+            f"{self.node}\t{self.postorder_down}\t{render(self.intervals_down)}\t"
+            f"{self.postorder_up}\t{render(self.intervals_up)}"
+        )
+
+
+class ReachabilityTable:
+    """The Figure-5 artifact: forward and backward interval labelings side by side.
+
+    Built over the condensation of an arbitrary directed graph (the paper
+    applies it to the line graph): ``G1`` is the condensation DAG and ``G2``
+    its reverse, so for a node ``u`` the table "can tell which nodes u can
+    reach, and which nodes can reach u, fast".
+    """
+
+    def __init__(self, adjacency: Adjacency) -> None:
+        self.condensation: Condensation = condense(adjacency)
+        dag = self.condensation.dag
+        reversed_dag: Dict[int, Set[int]] = {node: set() for node in dag}
+        for node, successors in dag.items():
+            for successor in successors:
+                reversed_dag[successor].add(node)
+        self.forward = IntervalLabeling(dag)
+        self.backward = IntervalLabeling(reversed_dag)
+
+    # -------------------------------------------------------------- queries
+
+    def reaches(self, source: Hashable, target: Hashable) -> bool:
+        """Return whether ``target`` is reachable from ``source`` in the original graph."""
+        source_component = self.condensation.component_of(source)
+        target_component = self.condensation.component_of(target)
+        if source_component == target_component:
+            return True
+        return self.forward.reaches(source_component, target_component)
+
+    def reached_by(self, target: Hashable, source: Hashable) -> bool:
+        """Return whether ``source`` can reach ``target`` (using the reverse labeling)."""
+        source_component = self.condensation.component_of(source)
+        target_component = self.condensation.component_of(target)
+        if source_component == target_component:
+            return True
+        return self.backward.reaches(target_component, source_component)
+
+    def rows(self) -> List[ReachabilityTableRow]:
+        """Return the table rows (one per original node), in node order."""
+        rows = []
+        for node in sorted(self.condensation.membership, key=str):
+            component = self.condensation.component_of(node)
+            rows.append(
+                ReachabilityTableRow(
+                    node=node,
+                    postorder_down=self.forward.postorder[component],
+                    intervals_down=list(self.forward.intervals[component]),
+                    postorder_up=self.backward.postorder[component],
+                    intervals_up=list(self.backward.intervals[component]),
+                )
+            )
+        return rows
+
+    def label_size(self) -> int:
+        """Total number of intervals stored across both labelings."""
+        return self.forward.label_size() + self.backward.label_size()
+
+    def format(self) -> str:
+        """Render the whole table as tab-separated text (header + one line per node)."""
+        lines = ["node\tpo↓\tintervals↓\tpo↑\tintervals↑"]
+        lines.extend(row.format() for row in self.rows())
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Strongly connected components and DAG condensation (Tarjan, Section 3.2).
+
+"A directed acyclic graph G1 is first built based on the obtained line
+social graph L(G), by identifying its strongly connected components...  each
+SCC in L(G) is represented through a randomly selected node from that SCC...
+This transformation will not cause any loss of reachability information,
+given that any two nodes in the same SCC are necessarily reachable.  The
+algorithm for determining SCCs is Tarjan's algorithm."
+
+The implementation works on a plain adjacency mapping (``node -> iterable of
+successors``) so that it can be applied to the line graph, to the social
+graph, or to any directed graph in tests.  Tarjan's algorithm is implemented
+iteratively — the line graphs of large social networks easily exceed
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+__all__ = ["strongly_connected_components", "Condensation", "condense"]
+
+Adjacency = Mapping[Hashable, Iterable[Hashable]]
+
+
+def strongly_connected_components(adjacency: Adjacency) -> List[List[Hashable]]:
+    """Return the SCCs of a directed graph (Tarjan's algorithm, iteratively).
+
+    The input maps each node to its successors; nodes appearing only as
+    successors are included automatically.  Components are returned in
+    reverse topological order (a component appears before any component it
+    can reach is *not* guaranteed; use :func:`condense` when order matters).
+    """
+    nodes: List[Hashable] = list(adjacency)
+    known: Set[Hashable] = set(nodes)
+    for successors in adjacency.values():
+        for successor in successors:
+            if successor not in known:
+                known.add(successor)
+                nodes.append(successor)
+
+    index_counter = 0
+    indices: Dict[Hashable, int] = {}
+    lowlinks: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        # Each work-stack entry is (node, iterator over its successors).
+        work: List[Tuple[Hashable, Iterable]] = [(root, iter(adjacency.get(root, ())))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(adjacency.get(successor, ()))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclass
+class Condensation:
+    """The condensation DAG of a directed graph.
+
+    * ``components`` — list of SCCs (each a list of original nodes); the
+      position in this list is the component id.
+    * ``representative`` — the node chosen to stand for each component (the
+      paper picks one "randomly"; we pick the smallest by string order so
+      results are deterministic).
+    * ``membership`` — original node -> component id.
+    * ``dag`` — component id -> set of successor component ids (no self loops).
+    """
+
+    components: List[List[Hashable]]
+    representative: List[Hashable]
+    membership: Dict[Hashable, int]
+    dag: Dict[int, Set[int]]
+
+    def component_of(self, node: Hashable) -> int:
+        """Return the component id containing ``node``."""
+        return self.membership[node]
+
+    def same_component(self, first: Hashable, second: Hashable) -> bool:
+        """Return whether two original nodes are in the same SCC (mutually reachable)."""
+        return self.membership[first] == self.membership[second]
+
+    def number_of_components(self) -> int:
+        """Return the number of SCCs."""
+        return len(self.components)
+
+    def component_sizes(self) -> List[int]:
+        """Return the SCC sizes, largest first."""
+        return sorted((len(component) for component in self.components), reverse=True)
+
+    def is_trivial(self) -> bool:
+        """Return whether every SCC is a single node (the graph was already a DAG)."""
+        return all(len(component) == 1 for component in self.components)
+
+
+def condense(adjacency: Adjacency) -> Condensation:
+    """Collapse every SCC into one node and return the resulting DAG."""
+    components = strongly_connected_components(adjacency)
+    membership: Dict[Hashable, int] = {}
+    for component_id, component in enumerate(components):
+        for node in component:
+            membership[node] = component_id
+    representative = [min(component, key=str) for component in components]
+    dag: Dict[int, Set[int]] = {component_id: set() for component_id in range(len(components))}
+    for node, successors in adjacency.items():
+        source_component = membership[node]
+        for successor in successors:
+            target_component = membership[successor]
+            if source_component != target_component:
+                dag[source_component].add(target_component)
+    return Condensation(
+        components=components,
+        representative=representative,
+        membership=membership,
+        dag=dag,
+    )

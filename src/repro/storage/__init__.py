@@ -1,0 +1,31 @@
+"""In-memory relational substrate.
+
+Plays the role of the relational DBMS in which the paper stores its
+per-label base tables and the B+-tree cluster index (Section 3.3):
+
+* :class:`~repro.storage.table.Table` / :class:`~repro.storage.table.Schema`
+  — column-typed tables with key and secondary hash indexes,
+* :class:`~repro.storage.btree.BPlusTree` — the ordered container backing the
+  cluster-based join index of Figure 7,
+* :mod:`~repro.storage.joins` — hash / nested-loop joins and the
+  *reachability join* operator,
+* :class:`~repro.storage.catalog.Catalog` — a named registry of tables.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.catalog import Catalog
+from repro.storage.joins import hash_join, nested_loop_join, reachability_join, reachability_join_rows
+from repro.storage.table import Column, Row, Schema, Table
+
+__all__ = [
+    "BPlusTree",
+    "Catalog",
+    "Column",
+    "Row",
+    "Schema",
+    "Table",
+    "hash_join",
+    "nested_loop_join",
+    "reachability_join",
+    "reachability_join_rows",
+]

@@ -1,0 +1,247 @@
+"""A B+-tree keyed container.
+
+The cluster-based join index of the paper (Figure 7) "is a B+-tree, where
+non-leaf nodes are centers.  Each non-leaf node w_i holds two clusters U_wi
+and V_wi".  This module provides the B+-tree the index is stored in: an
+order-``m`` tree with all values kept in linked leaves, supporting point
+lookups, ordered iteration and range scans.
+
+Keys must be mutually comparable (the join index uses string center ids).
+Deletion removes the entry from its leaf without rebalancing — the index is
+rebuilt, never shrunk, which matches how the paper's (static) index is used —
+but the tree remains correct for lookups after deletions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["BPlusTree"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _Node:
+    """Internal or leaf node of the B+-tree."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[Any] = []
+        self.children: List["_Node"] = []   # internal nodes only
+        self.values: List[Any] = []         # leaf nodes only
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree(Generic[K, V]):
+    """An order-``m`` B+-tree mapping keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children of an internal node (>= 3).  Leaves hold at
+        most ``order - 1`` entries.
+    """
+
+    def __init__(self, order: int = 16) -> None:
+        if order < 3:
+            raise ValueError("B+-tree order must be at least 3")
+        self._order = order
+        self._root: _Node = _Node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def order(self) -> int:
+        """The configured order (maximum fan-out) of the tree."""
+        return self._order
+
+    @property
+    def height(self) -> int:
+        """The current height (number of levels, leaves included)."""
+        return self._height
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``key`` -> ``value``; an existing key has its value replaced."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert(self, node: _Node, key: K, value: V) -> Optional[Tuple[Any, _Node]]:
+        if node.is_leaf:
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._size += 1
+            if len(node.keys) < self._order:
+                return None
+            return self._split_leaf(node)
+        index = bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> Tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return separator, right
+
+    # --------------------------------------------------------------- lookup
+
+    def _find_leaf(self, key: K) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Return the value stored for ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __getitem__(self, key: K) -> V:
+        sentinel = object()
+        value = self.get(key, sentinel)  # type: ignore[arg-type]
+        if value is sentinel:
+            raise KeyError(key)
+        return value  # type: ignore[return-value]
+
+    def __contains__(self, key: K) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self.insert(key, value)
+
+    # --------------------------------------------------------------- delete
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key`` if present; returns whether a removal happened.
+
+        The leaf is not rebalanced (see module docstring); lookups, iteration
+        and range scans remain correct.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+            self._size -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------ iteration
+
+    def _first_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate over (key, value) pairs in ascending key order."""
+        leaf: Optional[_Node] = self._first_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator[K]:
+        """Iterate over keys in ascending order."""
+        return (key for key, _value in self.items())
+
+    def values(self) -> Iterator[V]:
+        """Iterate over values in ascending key order."""
+        return (value for _key, value in self.items())
+
+    def __iter__(self) -> Iterator[K]:
+        return self.keys()
+
+    def range(self, low: Optional[K] = None, high: Optional[K] = None) -> Iterator[Tuple[K, V]]:
+        """Iterate over (key, value) pairs with ``low <= key <= high``.
+
+        ``None`` bounds are open-ended.
+        """
+        if low is None:
+            leaf: Optional[_Node] = self._first_leaf()
+            start = 0
+        else:
+            leaf = self._find_leaf(low)
+            start = bisect_left(leaf.keys, low)
+        while leaf is not None:
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if high is not None and key > high:
+                    return
+                yield key, leaf.values[index]
+            leaf = leaf.next_leaf
+            start = 0
+
+    # -------------------------------------------------------------- display
+
+    def node_count(self) -> Tuple[int, int]:
+        """Return ``(internal_nodes, leaf_nodes)`` — used by index-size benchmarks."""
+        internal = 0
+        leaves = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+            else:
+                internal += 1
+                stack.extend(node.children)
+        return internal, leaves
+
+    def __repr__(self) -> str:
+        internal, leaves = self.node_count()
+        return (
+            f"<BPlusTree order={self._order} size={self._size} height={self._height} "
+            f"internal={internal} leaves={leaves}>"
+        )

@@ -1,0 +1,82 @@
+"""A named collection of tables (a minimal database catalog).
+
+The join-index machinery creates one base table per relationship type
+(``T_friend``, ``T_colleague``, ``T_parent`` in the paper's example); the
+catalog gives them a home, supports lookup by name, and reports aggregate
+storage statistics for the index-size benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import StorageError, TableNotFoundError
+from repro.storage.table import Schema, Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A registry of named :class:`~repro.storage.table.Table` objects."""
+
+    def __init__(self, name: str = "catalog") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema, key: Optional[str] = None) -> Table:
+        """Create and register a new table; the name must be unused."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists in catalog {self.name!r}")
+        table = Table(name, schema, key=key)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table) -> None:
+        """Register an existing table under its own name."""
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already exists in catalog {self.name!r}")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise TableNotFoundError(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Return the table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """Return whether a table with this name exists."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """Return the registered table names, sorted."""
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def total_rows(self) -> int:
+        """Return the total number of rows across all tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    def statistics(self) -> Dict[str, Tuple[int, Tuple[str, ...]]]:
+        """Return ``{table name: (row count, column names)}`` for reporting."""
+        return {
+            name: (len(table), table.schema.column_names)
+            for name, table in sorted(self._tables.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"<Catalog {self.name!r}: {len(self._tables)} tables, {self.total_rows()} rows>"

@@ -1,0 +1,262 @@
+"""An in-memory relational table.
+
+The paper stores its reachability index "into a relational database, where
+each label is represented with a three-column table" (Section 3.3).  This
+module provides the relational substrate that plays that role: column-typed
+tables with optional unique keys and secondary indexes, plus the select /
+project / insert operations needed by the join-index machinery and the
+benchmark harness.  It is intentionally small — no SQL parser, no buffer
+manager — but it enforces a schema, so that the index code reads like the
+paper's relational description rather than like ad-hoc dict juggling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exceptions import DuplicateKeyError, SchemaError
+
+__all__ = ["Column", "Schema", "Row", "Table"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: a name, an optional Python type, and nullability."""
+
+    name: str
+    type: Optional[type] = None
+    nullable: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Check (and return) a value destined for this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        if self.type is not None and not isinstance(value, self.type):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        return value
+
+
+class Schema:
+    """An ordered collection of :class:`Column` definitions."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {column.name: column for column in columns}
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        """The column definitions, in declaration order."""
+        return self._columns
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """The column names, in declaration order."""
+        return tuple(column.name for column in self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r} (have {self.column_names})") from None
+
+    def validate_row(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a row mapping against the schema and return a normalized dict."""
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)} (have {self.column_names})")
+        row: Dict[str, Any] = {}
+        for column in self._columns:
+            row[column.name] = column.validate(values.get(column.name))
+        return row
+
+
+class Row(Mapping[str, Any]):
+    """An immutable row of a table (a read-only mapping of column name to value)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[str, Any]) -> None:
+        self._values = values
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in self._values.items())
+        return f"Row({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, _hashable(v)) for k, v in self._values.items())))
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, set)):
+        return tuple(sorted(map(str, value)))
+    if isinstance(value, dict):
+        return tuple(sorted((k, str(v)) for k, v in value.items()))
+    return value
+
+
+class Table:
+    """A schema-enforced, optionally keyed in-memory table.
+
+    Parameters
+    ----------
+    name:
+        Table name (used in error messages and by the catalog).
+    schema:
+        The :class:`Schema` rows must conform to.
+    key:
+        Optional name of a column whose values must be unique; lookups by key
+        are O(1) through a hash index.
+    """
+
+    def __init__(self, name: str, schema: Schema, key: Optional[str] = None) -> None:
+        if key is not None and key not in schema:
+            raise SchemaError(f"key column {key!r} is not part of the schema")
+        self.name = name
+        self.schema = schema
+        self.key = key
+        self._rows: List[Row] = []
+        self._key_index: Dict[Any, int] = {}
+        self._secondary: Dict[str, Dict[Any, List[int]]] = {}
+
+    # --------------------------------------------------------------- writes
+
+    def insert(self, **values: Any) -> Row:
+        """Insert one row given as keyword arguments; returns the stored :class:`Row`."""
+        normalized = self.schema.validate_row(values)
+        row = Row(normalized)
+        if self.key is not None:
+            key_value = normalized[self.key]
+            if key_value in self._key_index:
+                raise DuplicateKeyError(
+                    f"table {self.name!r}: duplicate key {key_value!r} for column {self.key!r}"
+                )
+            self._key_index[key_value] = len(self._rows)
+        position = len(self._rows)
+        self._rows.append(row)
+        for column, index in self._secondary.items():
+            index.setdefault(normalized[column], []).append(position)
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(**values)
+            count += 1
+        return count
+
+    def create_index(self, column: str) -> None:
+        """Create (or rebuild) a secondary hash index on ``column``."""
+        self.schema.column(column)
+        index: Dict[Any, List[int]] = {}
+        for position, row in enumerate(self._rows):
+            index.setdefault(row[column], []).append(position)
+        self._secondary[column] = index
+
+    # ---------------------------------------------------------------- reads
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def rows(self) -> List[Row]:
+        """Return all rows (a copy of the list; rows themselves are immutable)."""
+        return list(self._rows)
+
+    def get(self, key_value: Any) -> Optional[Row]:
+        """Return the row with the given primary-key value, or ``None``."""
+        if self.key is None:
+            raise SchemaError(f"table {self.name!r} has no key column")
+        position = self._key_index.get(key_value)
+        return self._rows[position] if position is not None else None
+
+    def select(
+        self,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        **equals: Any,
+    ) -> List[Row]:
+        """Return rows matching equality filters and/or an arbitrary predicate.
+
+        Equality filters use a secondary index when one exists on the column,
+        otherwise they scan.
+        """
+        candidates: Optional[List[Row]] = None
+        remaining = dict(equals)
+        for column, value in list(remaining.items()):
+            if column in self._secondary:
+                positions = self._secondary[column].get(value, [])
+                candidates = [self._rows[i] for i in positions]
+                del remaining[column]
+                break
+        if candidates is None:
+            candidates = self._rows
+        result = []
+        for row in candidates:
+            if all(row[column] == value for column, value in remaining.items()):
+                if predicate is None or predicate(row):
+                    result.append(row)
+        return result
+
+    def project(self, *columns: str) -> List[Tuple[Any, ...]]:
+        """Return tuples of the requested columns for every row."""
+        for column in columns:
+            self.schema.column(column)
+        return [tuple(row[column] for column in columns) for row in self._rows]
+
+    def distinct(self, column: str) -> List[Any]:
+        """Return the distinct values of ``column`` (in first-seen order)."""
+        self.schema.column(column)
+        seen: Dict[Any, None] = {}
+        for row in self._rows:
+            seen.setdefault(_hashable(row[column]), None)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name!r}: {len(self._rows)} rows, columns={self.schema.column_names}>"

@@ -1,0 +1,38 @@
+"""Benchmark-harness support: workload generation, query mixes, scenarios, metrics."""
+
+from repro.workloads.generator import (
+    GRAPH_FAMILIES,
+    Workload,
+    WorkloadSpec,
+    build_graph,
+    build_workload,
+)
+from repro.workloads.metrics import MetricSeries, Timer, format_table, measure, speedup
+from repro.workloads.queries import (
+    expression_of_shape,
+    random_expression,
+    random_query_mix,
+    random_step,
+)
+from repro.workloads.scenarios import SCENARIOS, Scenario, scenario, scenario_names
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "Workload",
+    "WorkloadSpec",
+    "build_graph",
+    "build_workload",
+    "MetricSeries",
+    "Timer",
+    "format_table",
+    "measure",
+    "speedup",
+    "expression_of_shape",
+    "random_expression",
+    "random_query_mix",
+    "random_step",
+    "SCENARIOS",
+    "Scenario",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,113 @@
+"""Parameterized benchmark workloads.
+
+A *workload* bundles a synthetic social graph together with a set of access
+rules and a stream of access requests, so that every benchmark (latency,
+throughput, index construction, ablations) draws from the same,
+deterministically seeded material.  The graph families map onto the
+generators of :mod:`repro.graph.generators`; sizes are expressed in users.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.generators import (
+    LabelDistribution,
+    forest_fire_graph,
+    preferential_attachment_graph,
+    random_graph,
+    small_world_graph,
+)
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["WorkloadSpec", "Workload", "GRAPH_FAMILIES", "build_graph", "build_workload"]
+
+
+GRAPH_FAMILIES: Dict[str, Callable[..., SocialGraph]] = {
+    "erdos-renyi": random_graph,
+    "barabasi-albert": preferential_attachment_graph,
+    "watts-strogatz": small_world_graph,
+    "forest-fire": forest_fire_graph,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one benchmark workload."""
+
+    family: str = "barabasi-albert"
+    users: int = 500
+    seed: int = 7
+    rules_per_owner: int = 1
+    owners: int = 10
+    requests: int = 200
+    expressions: Tuple[str, ...] = (
+        "friend+[1]",
+        "friend+[1,2]",
+        "friend+[1,2]/colleague+[1]",
+        "friend+[1]/parent+[1]/friend+[1]",
+        "colleague*[1,2]",
+    )
+    family_options: Tuple[Tuple[str, object], ...] = ()
+
+    def describe(self) -> str:
+        """Return a compact identifier for benchmark labels."""
+        return f"{self.family}-n{self.users}-s{self.seed}"
+
+
+@dataclass
+class Workload:
+    """A generated workload: graph + protected resources + request stream."""
+
+    spec: WorkloadSpec
+    graph: SocialGraph
+    # (resource_id, owner, expressions used in the rule)
+    resources: List[Tuple[str, Hashable, Tuple[str, ...]]] = field(default_factory=list)
+    # (requester, resource_id)
+    requests: List[Tuple[Hashable, str]] = field(default_factory=list)
+
+    def owners(self) -> List[Hashable]:
+        """Return the owners of the protected resources (deduplicated, ordered)."""
+        seen: Dict[Hashable, None] = {}
+        for _resource_id, owner, _expressions in self.resources:
+            seen.setdefault(owner, None)
+        return list(seen)
+
+
+def build_graph(spec: WorkloadSpec) -> SocialGraph:
+    """Generate the social graph described by a workload spec."""
+    try:
+        factory = GRAPH_FAMILIES[spec.family]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph family {spec.family!r}; expected one of {sorted(GRAPH_FAMILIES)}"
+        ) from None
+    options = dict(spec.family_options)
+    return factory(spec.users, seed=spec.seed, **options)
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Generate the full workload (graph, rules material, request stream)."""
+    rng = random.Random(spec.seed + 104729)
+    graph = build_graph(spec)
+    users = sorted(graph.users(), key=str)
+    if not users:
+        return Workload(spec=spec, graph=graph)
+
+    owners = rng.sample(users, min(spec.owners, len(users)))
+    resources: List[Tuple[str, Hashable, Tuple[str, ...]]] = []
+    for owner_index, owner in enumerate(owners):
+        for rule_index in range(spec.rules_per_owner):
+            resource_id = f"res-{owner_index}-{rule_index}"
+            expression = spec.expressions[(owner_index + rule_index) % len(spec.expressions)]
+            resources.append((resource_id, owner, (expression,)))
+
+    requests: List[Tuple[Hashable, str]] = []
+    if resources:
+        for _ in range(spec.requests):
+            requester = rng.choice(users)
+            resource_id = rng.choice(resources)[0]
+            requests.append((requester, resource_id))
+    return Workload(spec=spec, graph=graph, resources=resources, requests=requests)

@@ -1,0 +1,129 @@
+"""Random query and policy generation.
+
+Used by the benchmarks (to produce query mixes of controlled shape: number of
+steps, depth-interval width, direction mix, attribute selectivity) and by the
+property-based tests (as a plain-``random`` counterpart to the hypothesis
+strategies).  All functions are deterministic for a given ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.social_graph import SocialGraph
+from repro.policy.conditions import AttributeCondition
+from repro.policy.path_expression import PathExpression
+from repro.policy.steps import DepthInterval, Direction, Step
+
+__all__ = [
+    "random_step",
+    "random_expression",
+    "random_query_mix",
+    "expression_of_shape",
+]
+
+_DIRECTION_WEIGHTS: Sequence[Tuple[Direction, float]] = (
+    (Direction.OUTGOING, 0.7),
+    (Direction.INCOMING, 0.15),
+    (Direction.ANY, 0.15),
+)
+
+
+def random_step(
+    rng: random.Random,
+    labels: Sequence[str],
+    *,
+    max_depth: int = 3,
+    condition_probability: float = 0.2,
+    directions: Sequence[Tuple[Direction, float]] = _DIRECTION_WEIGHTS,
+) -> Step:
+    """Draw one random step over the given label alphabet."""
+    label = rng.choice(list(labels))
+    direction = rng.choices(
+        [member for member, _weight in directions],
+        weights=[weight for _member, weight in directions],
+        k=1,
+    )[0]
+    low = rng.randint(1, max_depth)
+    high = rng.randint(low, max_depth)
+    conditions: Tuple[AttributeCondition, ...] = ()
+    if rng.random() < condition_probability:
+        attribute, operator, value = rng.choice(
+            [
+                ("age", ">=", 18),
+                ("age", "<", 40),
+                ("gender", "=", "female"),
+                ("city", "=", "paris"),
+                ("job", "!=", "student"),
+            ]
+        )
+        conditions = (AttributeCondition(attribute, operator, value),)
+    return Step(label=label, direction=direction, depths=DepthInterval(low, high), conditions=conditions)
+
+
+def random_expression(
+    rng: random.Random,
+    labels: Sequence[str],
+    *,
+    max_steps: int = 3,
+    max_depth: int = 3,
+    condition_probability: float = 0.2,
+) -> PathExpression:
+    """Draw one random path expression with 1..max_steps steps."""
+    count = rng.randint(1, max_steps)
+    steps = [
+        random_step(rng, labels, max_depth=max_depth, condition_probability=condition_probability)
+        for _ in range(count)
+    ]
+    return PathExpression.of(*steps)
+
+
+def expression_of_shape(
+    labels: Sequence[str],
+    *,
+    steps: int,
+    depth_width: int,
+    direction: Direction = Direction.OUTGOING,
+) -> PathExpression:
+    """Build a deterministic expression of a given shape (for the ablation benches).
+
+    ``steps`` steps cycle through the label alphabet; every step carries the
+    depth interval ``[1, depth_width]`` and the same direction.
+    """
+    parts = []
+    for index in range(steps):
+        label = labels[index % len(labels)]
+        parts.append(
+            Step(label=label, direction=direction, depths=DepthInterval(1, max(1, depth_width)))
+        )
+    return PathExpression.of(*parts)
+
+
+def random_query_mix(
+    graph: SocialGraph,
+    count: int,
+    *,
+    seed: int = 13,
+    max_steps: int = 3,
+    max_depth: int = 3,
+    condition_probability: float = 0.1,
+) -> List[Tuple[Hashable, Hashable, PathExpression]]:
+    """Draw ``count`` (source, target, expression) triples over a graph."""
+    rng = random.Random(seed)
+    users = sorted(graph.users(), key=str)
+    labels = graph.labels() or ("friend",)
+    if len(users) < 2:
+        return []
+    queries = []
+    for _ in range(count):
+        source, target = rng.sample(users, 2)
+        expression = random_expression(
+            rng,
+            labels,
+            max_steps=max_steps,
+            max_depth=max_depth,
+            condition_probability=condition_probability,
+        )
+        queries.append((source, target, expression))
+    return queries

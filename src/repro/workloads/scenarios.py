@@ -1,0 +1,118 @@
+"""Named access-control scenarios.
+
+The paper motivates its model with concrete sharing situations ("only my
+family and my friends can view my birthday photos", "only my children and
+their friends can read my notes on The Simpsons", "only my reliable
+neighbors can have access to the details of my next holidays", the Q1 query,
+the Section-3.4 worked example).  Each scenario here packages one such
+situation as a (description, path expressions) pair so that examples, tests
+and the throughput benchmark all speak about the same policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named sharing situation and the access-condition expressions encoding it.
+
+    ``combination`` mirrors :class:`~repro.policy.rules.CombinationMode`:
+    ``"any"`` means each expression describes an alternative audience (e.g.
+    "my family *and* my friends" — the union), ``"all"`` means a requester
+    must satisfy every expression (the paper's Definition-2 semantics within
+    one rule).
+    """
+
+    name: str
+    description: str
+    expressions: Tuple[str, ...]
+    source: str = ""
+    combination: str = "any"
+
+    def describe(self) -> str:
+        """Return a short, human-readable summary."""
+        rendered = "; ".join(self.expressions)
+        return f"{self.name}: {self.description} -> {rendered}"
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="direct-friends",
+            description="share with my direct friends only",
+            expressions=("friend+[1]",),
+            source="Facebook-list baseline discussed in the introduction",
+        ),
+        Scenario(
+            name="friends-of-friends",
+            description="share with friends and friends of friends",
+            expressions=("friend+[1,2]",),
+            source="introduction",
+        ),
+        Scenario(
+            name="family-and-friends",
+            description="only my family (children) and my friends can view my birthday photos",
+            expressions=("friend+[1]", "parent+[1]"),
+            source="introduction ('only my family and my friends...')",
+        ),
+        Scenario(
+            name="children-of-friends-of-friends",
+            description="only my children and their friends can read my notes",
+            expressions=("parent+[1]/friend+[1]", "parent+[1]"),
+            source="introduction ('only my children and their friends...')",
+        ),
+        Scenario(
+            name="q1-colleagues-of-friends",
+            description="colleagues of my friends, up to friends of friends (query Q1)",
+            expressions=("friend+[1,2]/colleague+[1]",),
+            source="Figure 2",
+        ),
+        Scenario(
+            name="friends-of-friends-parents",
+            description="friends of my friends' parents (Section 3.4 worked example)",
+            expressions=("friend+[1]/parent+[1]/friend+[1]",),
+            source="Section 3.4",
+        ),
+        Scenario(
+            name="who-call-me-friend",
+            description="users who declare me as a friend, and their friends",
+            expressions=("friend-[1,2]",),
+            source="Section 2 (David's jokes example)",
+        ),
+        Scenario(
+            name="adult-friends-of-friends",
+            description="adults within two friendship hops",
+            expressions=("friend*[1,2]{age >= 18}",),
+            source="attribute-condition feature of Definition 3",
+        ),
+        Scenario(
+            name="colleague-network",
+            description="my colleagues and the colleagues of my colleagues",
+            expressions=("colleague+[1,2]",),
+            source="introduction",
+        ),
+        Scenario(
+            name="close-collaboration",
+            description="people who are both friends-of-friends and colleagues-of-colleagues",
+            expressions=("friend+[1,2]", "colleague+[1,2]"),
+            source="multi-condition (AND) rule of Definition 2",
+            combination="all",
+        ),
+    )
+}
+
+
+def scenario(name: str) -> Scenario:
+    """Return a scenario by name."""
+    return SCENARIOS[name]
+
+
+def scenario_names() -> List[str]:
+    """Return the available scenario names, sorted."""
+    return sorted(SCENARIOS)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.paper_graph import paper_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import preferential_attachment_graph
+from repro.graph.social_graph import SocialGraph
+from repro.policy.store import PolicyStore
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure-1 social subgraph (7 users, 12 relationships)."""
+    return paper_graph()
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 4-user chain with two labels, handy for focused unit tests.
+
+    a -friend-> b -friend-> c -colleague-> d  and  a -colleague-> d.
+    """
+    builder = GraphBuilder(name="tiny")
+    builder.user("a", age=30, gender="female")
+    builder.user("b", age=25, gender="male")
+    builder.user("c", age=40, gender="female")
+    builder.user("d", age=17, gender="male")
+    builder.relate("a", "b", "friend")
+    builder.relate("b", "c", "friend")
+    builder.relate("c", "d", "colleague")
+    builder.relate("a", "d", "colleague")
+    return builder.build()
+
+
+@pytest.fixture
+def small_random_graph():
+    """A deterministic ~60-user scale-free graph for medium-sized tests."""
+    return preferential_attachment_graph(60, edges_per_node=3, seed=42)
+
+
+@pytest.fixture
+def empty_graph():
+    """A graph with no users at all."""
+    return SocialGraph(name="empty")
+
+
+@pytest.fixture
+def policy_store(figure1):
+    """A policy store with a handful of resources over the Figure-1 graph."""
+    store = PolicyStore()
+    store.share("Alice", "alice-photos", kind="photos", title="holiday album")
+    store.share("Alice", "alice-notes", kind="notes")
+    store.share("David", "david-jokes", kind="notes", title="jokes")
+    return store
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator for deterministic randomized tests."""
+    return random.Random(1234)

@@ -1,0 +1,99 @@
+"""Golden tests for the Figure-1 example graph and its documented facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_graph import (
+    ALICE,
+    DAVID_INCOMING_FRIENDS,
+    FRIEND_PATH_ALICE_GEORGE,
+    BILL,
+    COLIN,
+    DAVID,
+    EDGES,
+    ELENA,
+    FRED,
+    GEORGE,
+    LABELS,
+    USERS,
+    paper_graph,
+)
+
+
+class TestGraphShape:
+    def test_user_count_matches_figure1(self):
+        graph = paper_graph()
+        assert graph.number_of_users() == 7
+
+    def test_relationship_count_matches_figure5_enumeration(self):
+        graph = paper_graph()
+        assert graph.number_of_relationships() == 12
+
+    def test_label_alphabet(self):
+        graph = paper_graph()
+        assert graph.labels() == LABELS == ("colleague", "friend", "parent")
+
+    def test_every_listed_edge_is_present(self):
+        graph = paper_graph()
+        for source, target, label, _attrs in EDGES:
+            assert graph.has_relationship(source, target, label)
+
+    def test_no_extra_edges(self):
+        graph = paper_graph()
+        listed = {(s, t, l) for s, t, l, _ in EDGES}
+        actual = {rel.key() for rel in graph.relationships()}
+        assert actual == listed
+
+    def test_all_users_listed(self):
+        graph = paper_graph()
+        assert set(graph.users()) == set(USERS) == {ALICE, BILL, COLIN, DAVID, ELENA, FRED, GEORGE}
+
+    def test_graph_is_rebuilt_fresh_each_call(self):
+        first = paper_graph()
+        second = paper_graph()
+        assert first is not second
+        assert first == second
+
+
+class TestPaperStatedFacts:
+    def test_alice_attributes_match_definition1_example(self):
+        graph = paper_graph()
+        assert graph.attribute(ALICE, "gender") == "female"
+        assert graph.attribute(ALICE, "age") == 24
+
+    def test_friend_typed_path_alice_bill_elena_george(self):
+        """Definition 1: a friend path Alice-Bill-Elena-George of length 3."""
+        graph = paper_graph()
+        nodes = FRIEND_PATH_ALICE_GEORGE
+        assert nodes == [ALICE, BILL, ELENA, GEORGE]
+        for source, target in zip(nodes, nodes[1:]):
+            assert graph.has_relationship(source, target, "friend")
+
+    def test_alice_colin_edge_carries_trust_annotation(self):
+        graph = paper_graph()
+        rel = graph.get_relationship(ALICE, COLIN, "friend")
+        assert rel.attributes["trust"] == pytest.approx(0.8)
+
+    def test_alice_david_edge_carries_trust_annotation(self):
+        graph = paper_graph()
+        rel = graph.get_relationship(ALICE, DAVID, "colleague")
+        assert rel.attributes["trust"] == pytest.approx(0.6)
+
+    def test_david_is_considered_friend_by_elena_and_colin(self):
+        """Section 2: 'those who consider him as a friend (Elena and Colin)'."""
+        graph = paper_graph()
+        in_friends = {rel.source for rel in graph.in_relationships(DAVID, "friend")}
+        assert in_friends == DAVID_INCOMING_FRIENDS == {ELENA, COLIN}
+
+    def test_label_counts(self):
+        graph = paper_graph()
+        assert graph.number_of_relationships("friend") == 8
+        assert graph.number_of_relationships("colleague") == 2
+        assert graph.number_of_relationships("parent") == 2
+
+    def test_fred_and_george_are_minors(self):
+        """The children in the example have ages below 18 so that age conditions bite."""
+        graph = paper_graph()
+        assert graph.attribute(FRED, "age") < 18
+        assert graph.attribute(GEORGE, "age") < 18

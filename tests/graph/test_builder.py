@@ -1,0 +1,86 @@
+"""Unit tests for GraphBuilder and graph_from_edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_edges
+
+
+class TestGraphBuilder:
+    def test_auto_creates_endpoints(self):
+        graph = GraphBuilder().relate("a", "b", "friend").build()
+        assert graph.has_user("a") and graph.has_user("b")
+        assert graph.has_relationship("a", "b", "friend")
+
+    def test_symmetric_labels_add_both_directions(self):
+        graph = GraphBuilder(symmetric_labels={"friend"}).relate("a", "b", "friend").build()
+        assert graph.has_relationship("a", "b", "friend")
+        assert graph.has_relationship("b", "a", "friend")
+
+    def test_symmetric_declared_later(self):
+        builder = GraphBuilder().symmetric("colleague")
+        graph = builder.relate("a", "b", "colleague").build()
+        assert graph.has_relationship("b", "a", "colleague")
+
+    def test_non_symmetric_labels_stay_directed(self):
+        graph = GraphBuilder(symmetric_labels={"friend"}).relate("a", "b", "parent").build()
+        assert not graph.has_relationship("b", "a", "parent")
+
+    def test_relate_is_idempotent(self):
+        builder = GraphBuilder()
+        builder.relate("a", "b", "friend").relate("a", "b", "friend")
+        assert builder.build().number_of_relationships() == 1
+
+    def test_user_attributes_merge(self):
+        builder = GraphBuilder().user("a", age=20).user("a", city="paris")
+        assert builder.build().attributes("a") == {"age": 20, "city": "paris"}
+
+    def test_users_bulk(self):
+        graph = GraphBuilder().users(["a", "b", "c"], role="member").build()
+        assert all(graph.attribute(user, "role") == "member" for user in "abc")
+
+    def test_relate_many_with_and_without_attributes(self):
+        graph = GraphBuilder().relate_many(
+            [("a", "b", "friend"), ("b", "c", "friend", {"trust": 0.5})]
+        ).build()
+        assert graph.number_of_relationships() == 2
+        assert graph.get_relationship("b", "c", "friend").attributes["trust"] == 0.5
+
+    def test_chain(self):
+        graph = GraphBuilder().chain(["a", "b", "c", "d"], "friend").build()
+        assert graph.number_of_relationships() == 3
+        assert graph.has_relationship("c", "d", "friend")
+
+    def test_star(self):
+        graph = GraphBuilder().star("hub", ["a", "b", "c"], "manages").build()
+        assert graph.out_degree("hub") == 3
+        assert graph.has_relationship("hub", "b", "manages")
+
+    def test_builder_reusable_after_build(self):
+        builder = GraphBuilder()
+        graph = builder.relate("a", "b", "friend").build()
+        builder.relate("b", "c", "friend")
+        assert graph.has_relationship("b", "c", "friend")  # same underlying graph
+
+
+class TestGraphFromEdges:
+    def test_basic(self):
+        graph = graph_from_edges([("a", "b", "friend"), ("b", "c", "colleague")])
+        assert graph.number_of_users() == 3
+        assert graph.number_of_relationships() == 2
+
+    def test_with_node_attributes(self):
+        graph = graph_from_edges(
+            [("a", "b", "friend")],
+            node_attributes={"a": {"age": 33}},
+        )
+        assert graph.attribute("a", "age") == 33
+
+    def test_with_symmetric_labels(self):
+        graph = graph_from_edges([("a", "b", "friend")], symmetric_labels=["friend"])
+        assert graph.has_relationship("b", "a", "friend")
+
+    def test_name_is_kept(self):
+        graph = graph_from_edges([("a", "b", "friend")], name="office")
+        assert graph.name == "office"

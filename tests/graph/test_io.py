@@ -1,0 +1,85 @@
+"""Unit tests for graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.io import (
+    from_edge_list,
+    from_json,
+    load_json,
+    save_json,
+    to_edge_list,
+    to_json,
+)
+
+
+class TestJson:
+    def test_round_trip(self, figure1):
+        assert from_json(to_json(figure1)) == figure1
+
+    def test_round_trip_keeps_attributes(self, tiny_graph):
+        restored = from_json(to_json(tiny_graph))
+        assert restored.attribute("a", "age") == 30
+        assert restored == tiny_graph
+
+    def test_file_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "graph.json"
+        save_json(figure1, path)
+        assert load_json(path) == figure1
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GraphFormatError):
+            from_json("{not json")
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(GraphFormatError):
+            from_json("[1, 2, 3]")
+
+    def test_malformed_relationship_raises(self):
+        document = '{"users": {"a": {}}, "relationships": [{"source": "a"}]}'
+        with pytest.raises(GraphFormatError):
+            from_json(document)
+
+    def test_relationship_endpoints_created_on_demand(self):
+        document = (
+            '{"users": {}, "relationships": '
+            '[{"source": "a", "target": "b", "label": "friend"}]}'
+        )
+        graph = from_json(document)
+        assert graph.has_relationship("a", "b", "friend")
+
+    def test_output_is_deterministic(self, figure1):
+        assert to_json(figure1) == to_json(figure1)
+
+
+class TestEdgeList:
+    def test_round_trip_structure(self, figure1):
+        text = to_edge_list(figure1)
+        restored = from_edge_list(text)
+        assert restored.number_of_users() == figure1.number_of_users()
+        assert {rel.key() for rel in restored.relationships()} == {
+            rel.key() for rel in figure1.relationships()
+        }
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\na b friend\nb c colleague\n"
+        graph = from_edge_list(text)
+        assert graph.number_of_relationships() == 2
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            from_edge_list("a b friend\nbroken line here extra\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_duplicate_lines_collapse(self):
+        graph = from_edge_list("a b friend\na b friend\n")
+        assert graph.number_of_relationships() == 1
+
+    def test_empty_graph_serializes_to_empty_string(self, empty_graph):
+        assert to_edge_list(empty_graph) == ""
+
+    def test_accepts_iterable_of_lines(self):
+        graph = from_edge_list(["a b friend", "b c friend"])
+        assert graph.number_of_relationships() == 2

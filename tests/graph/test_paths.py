@@ -1,0 +1,133 @@
+"""Unit tests for Path / Traversal and the adjacency-chain helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.paths import Path, Traversal, is_adjacent_chain, path_from_nodes
+from repro.graph.social_graph import Relationship, SocialGraph
+
+
+@pytest.fixture
+def chain_graph():
+    g = SocialGraph()
+    for user in "abcd":
+        g.add_user(user)
+    g.add_relationship("a", "b", "friend")
+    g.add_relationship("b", "c", "friend")
+    g.add_relationship("c", "d", "colleague")
+    return g
+
+
+class TestTraversal:
+    def test_forward_traversal_endpoints(self):
+        rel = Relationship("a", "b", "friend")
+        hop = Traversal(rel, forward=True)
+        assert hop.start == "a" and hop.end == "b" and hop.label == "friend"
+
+    def test_backward_traversal_endpoints(self):
+        rel = Relationship("a", "b", "friend")
+        hop = Traversal(rel, forward=False)
+        assert hop.start == "b" and hop.end == "a"
+
+    def test_str_shows_direction(self):
+        rel = Relationship("a", "b", "friend")
+        assert "->" in str(Traversal(rel, True))
+        assert "<-" in str(Traversal(rel, False))
+
+
+class TestPath:
+    def test_empty_path(self):
+        path = Path("a")
+        assert path.start == "a" and path.end == "a"
+        assert len(path) == 0
+        assert path.nodes() == ["a"]
+        assert bool(path)
+
+    def test_contiguous_path(self, chain_graph):
+        path = path_from_nodes(chain_graph, ["a", "b", "c", "d"])
+        assert path.start == "a" and path.end == "d"
+        assert path.nodes() == ["a", "b", "c", "d"]
+        assert path.labels() == ["friend", "friend", "colleague"]
+        assert len(path) == 3
+
+    def test_non_contiguous_path_raises(self):
+        hops = (
+            Traversal(Relationship("a", "b", "friend")),
+            Traversal(Relationship("c", "d", "friend")),
+        )
+        with pytest.raises(GraphError):
+            Path("a", hops)
+
+    def test_path_start_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            Path("x", (Traversal(Relationship("a", "b", "friend")),))
+
+    def test_label_runs(self, chain_graph):
+        path = path_from_nodes(chain_graph, ["a", "b", "c", "d"])
+        assert path.label_runs() == [("friend", 2), ("colleague", 1)]
+
+    def test_is_simple(self, chain_graph):
+        path = path_from_nodes(chain_graph, ["a", "b", "c"])
+        assert path.is_simple()
+        # Build a path that revisits b through backward traversals.
+        rel_ab = chain_graph.get_relationship("a", "b", "friend")
+        revisit = Path("a", (Traversal(rel_ab, True), Traversal(rel_ab, False), Traversal(rel_ab, True)))
+        assert not revisit.is_simple()
+
+    def test_concat(self, chain_graph):
+        first = path_from_nodes(chain_graph, ["a", "b"])
+        second = path_from_nodes(chain_graph, ["b", "c", "d"])
+        combined = first.concat(second)
+        assert combined.nodes() == ["a", "b", "c", "d"]
+
+    def test_concat_mismatch_raises(self, chain_graph):
+        first = path_from_nodes(chain_graph, ["a", "b"])
+        third = path_from_nodes(chain_graph, ["c", "d"])
+        with pytest.raises(GraphError):
+            first.concat(third)
+
+    def test_extended(self, chain_graph):
+        path = path_from_nodes(chain_graph, ["a", "b"])
+        rel = chain_graph.get_relationship("b", "c", "friend")
+        longer = path.extended(Traversal(rel))
+        assert longer.nodes() == ["a", "b", "c"]
+        assert path.nodes() == ["a", "b"]  # original untouched
+
+    def test_equality_and_hash(self, chain_graph):
+        first = path_from_nodes(chain_graph, ["a", "b", "c"])
+        second = path_from_nodes(chain_graph, ["a", "b", "c"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != path_from_nodes(chain_graph, ["a", "b"])
+
+
+class TestHelpers:
+    def test_is_adjacent_chain_true(self):
+        edges = [Relationship("a", "b", "x"), Relationship("b", "c", "y"), Relationship("c", "d", "z")]
+        assert is_adjacent_chain(edges)
+
+    def test_is_adjacent_chain_false(self):
+        edges = [Relationship("a", "b", "x"), Relationship("c", "d", "y")]
+        assert not is_adjacent_chain(edges)
+
+    def test_is_adjacent_chain_trivial_cases(self):
+        assert is_adjacent_chain([])
+        assert is_adjacent_chain([Relationship("a", "b", "x")])
+
+    def test_path_from_nodes_with_labels(self, chain_graph):
+        path = path_from_nodes(chain_graph, ["a", "b", "c"], labels=["friend", "friend"])
+        assert path.labels() == ["friend", "friend"]
+
+    def test_path_from_nodes_label_count_mismatch(self, chain_graph):
+        with pytest.raises(GraphError):
+            path_from_nodes(chain_graph, ["a", "b", "c"], labels=["friend"])
+
+    def test_path_from_nodes_missing_edge(self, chain_graph):
+        with pytest.raises(GraphError):
+            path_from_nodes(chain_graph, ["a", "c"])
+
+    def test_path_from_nodes_empty(self, chain_graph):
+        with pytest.raises(GraphError):
+            path_from_nodes(chain_graph, [])

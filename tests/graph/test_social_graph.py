@@ -1,0 +1,210 @@
+"""Unit tests for the SocialGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graph.social_graph import Relationship, SocialGraph
+
+
+@pytest.fixture
+def graph():
+    g = SocialGraph(name="unit")
+    g.add_user("alice", age=24, gender="female")
+    g.add_user("bob", age=30)
+    g.add_user("carol")
+    g.add_relationship("alice", "bob", "friend", trust=0.9)
+    g.add_relationship("bob", "carol", "colleague")
+    return g
+
+
+class TestUsers:
+    def test_add_and_contains(self, graph):
+        assert graph.has_user("alice")
+        assert "alice" in graph
+        assert "dave" not in graph
+
+    def test_add_duplicate_user_raises(self, graph):
+        with pytest.raises(DuplicateNodeError):
+            graph.add_user("alice")
+
+    def test_ensure_user_is_idempotent_and_merges_attributes(self, graph):
+        graph.ensure_user("alice", city="paris")
+        assert graph.attribute("alice", "city") == "paris"
+        assert graph.attribute("alice", "age") == 24
+        graph.ensure_user("dave", age=40)
+        assert graph.has_user("dave")
+
+    def test_update_user_merges(self, graph):
+        graph.update_user("bob", age=31, city="berlin")
+        assert graph.attributes("bob") == {"age": 31, "city": "berlin"}
+
+    def test_update_unknown_user_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.update_user("nobody", age=1)
+
+    def test_attributes_of_unknown_user_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.attributes("nobody")
+
+    def test_attribute_default(self, graph):
+        assert graph.attribute("carol", "age") is None
+        assert graph.attribute("carol", "age", 0) == 0
+
+    def test_remove_user_removes_incident_edges(self, graph):
+        graph.remove_user("bob")
+        assert not graph.has_user("bob")
+        assert graph.number_of_relationships() == 0
+        assert not graph.has_relationship("alice", "bob", "friend")
+
+    def test_len_and_iter(self, graph):
+        assert len(graph) == 3
+        assert set(iter(graph)) == {"alice", "bob", "carol"}
+
+
+class TestRelationships:
+    def test_add_and_query(self, graph):
+        assert graph.has_relationship("alice", "bob", "friend")
+        assert graph.has_relationship("alice", "bob")  # any label
+        assert not graph.has_relationship("bob", "alice", "friend")
+
+    def test_relationship_attributes(self, graph):
+        rel = graph.get_relationship("alice", "bob", "friend")
+        assert rel.attributes["trust"] == pytest.approx(0.9)
+        assert rel.label == "friend"
+
+    def test_parallel_edges_with_different_labels(self, graph):
+        graph.add_relationship("alice", "bob", "colleague")
+        assert graph.has_relationship("alice", "bob", "friend")
+        assert graph.has_relationship("alice", "bob", "colleague")
+        assert graph.number_of_relationships() == 3
+
+    def test_duplicate_edge_same_label_raises(self, graph):
+        with pytest.raises(DuplicateEdgeError):
+            graph.add_relationship("alice", "bob", "friend")
+
+    def test_edge_to_unknown_user_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.add_relationship("alice", "nobody", "friend")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_relationship("nobody", "alice", "friend")
+
+    def test_reciprocal_adds_both_directions(self, graph):
+        graph.add_relationship("alice", "carol", "friend", reciprocal=True)
+        assert graph.has_relationship("alice", "carol", "friend")
+        assert graph.has_relationship("carol", "alice", "friend")
+
+    def test_remove_relationship(self, graph):
+        graph.remove_relationship("alice", "bob", "friend")
+        assert not graph.has_relationship("alice", "bob", "friend")
+        assert graph.number_of_relationships() == 1
+
+    def test_remove_missing_relationship_raises(self, graph):
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_relationship("alice", "carol", "friend")
+
+    def test_get_missing_relationship_raises(self, graph):
+        with pytest.raises(EdgeNotFoundError):
+            graph.get_relationship("alice", "carol", "friend")
+
+    def test_labels_are_sorted(self, graph):
+        assert graph.labels() == ("colleague", "friend")
+
+    def test_label_counts_update_on_removal(self, graph):
+        graph.remove_relationship("bob", "carol", "colleague")
+        assert graph.number_of_relationships("colleague") == 0
+        assert "colleague" not in graph.labels()
+
+
+class TestNeighborhoods:
+    def test_successors_and_predecessors(self, graph):
+        assert set(graph.successors("alice")) == {"bob"}
+        assert set(graph.predecessors("carol")) == {"bob"}
+        assert set(graph.successors("bob", "colleague")) == {"carol"}
+        assert set(graph.successors("bob", "friend")) == set()
+
+    def test_neighbors_deduplicates(self, graph):
+        graph.add_relationship("bob", "alice", "colleague")
+        assert set(graph.neighbors("alice")) == {"bob"}
+
+    def test_out_in_relationships_filtered_by_label(self, graph):
+        out = list(graph.out_relationships("alice", "friend"))
+        assert len(out) == 1 and out[0].target == "bob"
+        assert list(graph.out_relationships("alice", "colleague")) == []
+        incoming = list(graph.in_relationships("carol"))
+        assert len(incoming) == 1 and incoming[0].source == "bob"
+
+    def test_degrees(self, graph):
+        assert graph.out_degree("alice") == 1
+        assert graph.in_degree("alice") == 0
+        assert graph.degree("bob") == 2
+        assert graph.out_degree("bob", "colleague") == 1
+
+    def test_neighborhood_of_unknown_user_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            list(graph.successors("nobody"))
+
+
+class TestCopiesAndViews:
+    def test_copy_is_deep_structurally(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        clone.add_user("dave")
+        clone.add_relationship("dave", "alice", "friend")
+        assert not graph.has_user("dave")
+
+    def test_equality_ignores_name(self, graph):
+        clone = graph.copy(name="other-name")
+        assert clone == graph
+
+    def test_subgraph_keeps_only_induced_edges(self, graph):
+        sub = graph.subgraph(["alice", "bob"])
+        assert set(sub.users()) == {"alice", "bob"}
+        assert sub.has_relationship("alice", "bob", "friend")
+        assert sub.number_of_relationships() == 1
+
+    def test_subgraph_ignores_unknown_users(self, graph):
+        sub = graph.subgraph(["alice", "nobody"])
+        assert set(sub.users()) == {"alice"}
+
+    def test_reversed_flips_every_edge(self, graph):
+        reversed_graph = graph.reversed()
+        assert reversed_graph.has_relationship("bob", "alice", "friend")
+        assert reversed_graph.has_relationship("carol", "bob", "colleague")
+        assert reversed_graph.number_of_relationships() == graph.number_of_relationships()
+
+    def test_repr_mentions_counts(self, graph):
+        text = repr(graph)
+        assert "3 users" in text and "2 relationships" in text
+
+
+class TestNetworkxInterop:
+    def test_round_trip_through_networkx(self, graph):
+        nx_graph = graph.to_networkx()
+        back = SocialGraph.from_networkx(nx_graph)
+        assert back == graph
+
+    def test_from_networkx_uses_default_label(self):
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge("a", "b")
+        graph = SocialGraph.from_networkx(nx_graph, default_label="knows")
+        assert graph.has_relationship("a", "b", "knows")
+
+
+class TestRelationshipValue:
+    def test_key_and_reversed(self):
+        rel = Relationship("a", "b", "friend", {"trust": 0.5})
+        assert rel.key() == ("a", "b", "friend")
+        back = rel.reversed()
+        assert back.source == "b" and back.target == "a" and back.label == "friend"
+
+    def test_str(self):
+        assert str(Relationship("a", "b", "friend")) == "a -[friend]-> b"

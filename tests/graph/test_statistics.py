@@ -1,0 +1,92 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.statistics import (
+    average_degree,
+    connected_component_sizes,
+    degree_distribution,
+    estimate_effective_diameter,
+    label_distribution,
+    summarize,
+)
+
+
+class TestDegreeDistribution:
+    def test_out_degree_histogram(self, tiny_graph):
+        histogram = degree_distribution(tiny_graph, "out")
+        # a has 2 outgoing edges, b and c have 1, d has 0.
+        assert histogram == {2: 1, 1: 2, 0: 1}
+
+    def test_in_degree_histogram(self, tiny_graph):
+        histogram = degree_distribution(tiny_graph, "in")
+        assert histogram == {0: 1, 1: 2, 2: 1}
+
+    def test_total_histogram_sums_users(self, figure1):
+        histogram = degree_distribution(figure1, "total")
+        assert sum(histogram.values()) == figure1.number_of_users()
+
+    def test_invalid_direction_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            degree_distribution(tiny_graph, "sideways")
+
+
+class TestSimpleAggregates:
+    def test_label_distribution(self, figure1):
+        assert label_distribution(figure1) == {"friend": 8, "colleague": 2, "parent": 2}
+
+    def test_average_degree(self, tiny_graph):
+        assert average_degree(tiny_graph) == pytest.approx(1.0)
+
+    def test_average_degree_empty(self, empty_graph):
+        assert average_degree(empty_graph) == 0.0
+
+
+class TestComponents:
+    def test_single_component(self, figure1):
+        assert connected_component_sizes(figure1) == [7]
+
+    def test_two_components(self):
+        graph = GraphBuilder().relate("a", "b", "friend").relate("x", "y", "friend").build()
+        assert connected_component_sizes(graph) == [2, 2]
+
+    def test_isolated_users_are_their_own_component(self):
+        builder = GraphBuilder().user("lonely")
+        builder.relate("a", "b", "friend")
+        assert sorted(connected_component_sizes(builder.build())) == [1, 2]
+
+    def test_empty_graph(self, empty_graph):
+        assert connected_component_sizes(empty_graph) == []
+
+
+class TestDiameter:
+    def test_chain_diameter(self):
+        graph = GraphBuilder().chain(list("abcdef"), "friend").build()
+        estimate = estimate_effective_diameter(graph, samples=6, percentile=1.0)
+        assert estimate == pytest.approx(5.0)
+
+    def test_too_small_graph_returns_none(self, empty_graph):
+        assert estimate_effective_diameter(empty_graph) is None
+        single = GraphBuilder().user("a").build()
+        assert estimate_effective_diameter(single) is None
+
+
+class TestSummary:
+    def test_summary_fields(self, figure1):
+        summary = summarize(figure1)
+        assert summary.users == 7
+        assert summary.relationships == 12
+        assert summary.labels == ("colleague", "friend", "parent")
+        assert summary.weakly_connected_components == 1
+        assert summary.largest_component_size == 7
+        assert summary.max_out_degree == 3
+        assert summary.average_out_degree == pytest.approx(12 / 7)
+
+    def test_as_dict_round_trips_to_json(self, figure1):
+        import json
+
+        payload = summarize(figure1).as_dict()
+        assert json.loads(json.dumps(payload)) == payload

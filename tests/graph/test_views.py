@@ -1,0 +1,88 @@
+"""Unit tests for filtered graph views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.views import GraphView, label_view, trust_view, user_filter_view
+
+
+@pytest.fixture
+def graph():
+    builder = GraphBuilder()
+    builder.user("a", age=30).user("b", age=16).user("c", age=45).user("d", age=28)
+    builder.relate("a", "b", "friend", trust=0.9)
+    builder.relate("b", "c", "friend", trust=0.2)
+    builder.relate("a", "c", "colleague", trust=0.7)
+    builder.relate("c", "d", "parent")
+    return builder.build()
+
+
+class TestLabelView:
+    def test_only_matching_labels_visible(self, graph):
+        view = label_view(graph, "friend")
+        assert view.number_of_relationships() == 2
+        assert {rel.label for rel in view.relationships()} == {"friend"}
+
+    def test_multiple_labels(self, graph):
+        view = label_view(graph, "friend", "parent")
+        assert view.number_of_relationships() == 3
+
+    def test_out_relationships_filtered(self, graph):
+        view = label_view(graph, "friend")
+        assert [rel.target for rel in view.out_relationships("a")] == ["b"]
+
+    def test_successors_and_predecessors(self, graph):
+        view = label_view(graph, "colleague")
+        assert set(view.successors("a")) == {"c"}
+        assert set(view.predecessors("c")) == {"a"}
+
+    def test_all_users_remain_visible(self, graph):
+        view = label_view(graph, "parent")
+        assert view.number_of_users() == 4
+
+
+class TestTrustView:
+    def test_low_trust_edges_hidden(self, graph):
+        view = trust_view(graph, minimum_trust=0.5)
+        kept = {rel.key() for rel in view.relationships()}
+        assert ("b", "c", "friend") not in kept
+        assert ("a", "b", "friend") in kept
+
+    def test_missing_trust_counts_as_full_trust(self, graph):
+        view = trust_view(graph, minimum_trust=0.99)
+        kept = {rel.key() for rel in view.relationships()}
+        assert ("c", "d", "parent") in kept
+
+
+class TestUserFilterView:
+    def test_filtered_users_disappear_with_their_edges(self, graph):
+        adults = user_filter_view(graph, lambda _user, attrs: attrs.get("age", 0) >= 18)
+        assert set(adults.users()) == {"a", "c", "d"}
+        assert not adults.has_user("b")
+        # Edges touching b are invisible.
+        assert {rel.key() for rel in adults.relationships()} == {
+            ("a", "c", "colleague"),
+            ("c", "d", "parent"),
+        }
+
+    def test_successors_respect_user_filter(self, graph):
+        adults = user_filter_view(graph, lambda _user, attrs: attrs.get("age", 0) >= 18)
+        assert set(adults.successors("a")) == {"c"}
+
+
+class TestMaterialize:
+    def test_materialize_produces_standalone_graph(self, graph):
+        view = label_view(graph, "friend")
+        copy = view.materialize(name="friends-only")
+        assert copy.number_of_relationships() == 2
+        assert copy.name == "friends-only"
+        # Mutating the copy does not affect the original.
+        copy.add_user("zz")
+        assert not graph.has_user("zz")
+
+    def test_unfiltered_view_equals_original(self, graph):
+        view = GraphView(graph)
+        assert view.number_of_users() == graph.number_of_users()
+        assert view.number_of_relationships() == graph.number_of_relationships()

@@ -1,0 +1,196 @@
+"""End-to-end reproduction of every worked example in the paper, on every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_graph import (
+    ALICE,
+    BILL,
+    COLIN,
+    DAVID,
+    DAVID_EXTENDED_AUDIENCE,
+    DAVID_EXTENDED_AUDIENCE_EXPRESSION,
+    DAVID_INCOMING_FRIENDS,
+    DAVID_INCOMING_FRIENDS_EXPRESSION,
+    ELENA,
+    FRED,
+    FRIEND_PATH_EXPRESSION,
+    GEORGE,
+    Q1_EXPECTED_AUDIENCE,
+    Q1_EXPRESSION,
+    WORKED_EXAMPLE_EXPECTED_AUDIENCE,
+    WORKED_EXAMPLE_EXPRESSION,
+    WORKED_EXAMPLE_WITNESS_NODES,
+    paper_graph,
+)
+from repro.policy import AccessControlEngine, PathExpression, PolicyStore
+from repro.reachability import available_backends, create_evaluator
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_graph()
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def evaluator(request, graph):
+    return create_evaluator(request.param, graph)
+
+
+class TestFigure2QueryQ1:
+    """Q1: Alice/friend+[1,2]/colleague+[1] — 'colleagues of Alice's friends within 2 hops'."""
+
+    def test_q1_audience_is_exactly_fred(self, evaluator):
+        expression = PathExpression.parse(Q1_EXPRESSION)
+        assert evaluator.find_targets(ALICE, expression) == Q1_EXPECTED_AUDIENCE == {FRED}
+
+    def test_q1_grants_fred(self, evaluator):
+        expression = PathExpression.parse(Q1_EXPRESSION)
+        assert evaluator.evaluate(ALICE, FRED, expression).reachable
+
+    @pytest.mark.parametrize("denied", [BILL, COLIN, DAVID, ELENA, GEORGE])
+    def test_q1_denies_everyone_else(self, evaluator, denied):
+        expression = PathExpression.parse(Q1_EXPRESSION)
+        assert not evaluator.evaluate(ALICE, denied, expression).reachable
+
+    def test_q1_witness_goes_through_a_friend_then_a_colleague(self, evaluator):
+        expression = PathExpression.parse(Q1_EXPRESSION)
+        result = evaluator.evaluate(ALICE, FRED, expression)
+        assert result.witness is not None
+        labels = result.witness.labels()
+        assert labels[-1] == "colleague"
+        assert set(labels[:-1]) == {"friend"}
+        assert result.witness.start == ALICE
+        assert result.witness.end == FRED
+
+    def test_q1_expansion_produces_two_line_queries(self):
+        """Section 3.1: 'The transformation results, then, in two line queries.'"""
+        from repro.reachability.query import expand_line_queries
+
+        expression = PathExpression.parse(Q1_EXPRESSION)
+        queries = expand_line_queries(expression)
+        assert len(queries) == 2
+        assert sorted(query.label_sequence() for query in queries) == [
+            ("friend", "colleague"),
+            ("friend", "friend", "colleague"),
+        ]
+
+
+class TestSection34WorkedExample:
+    """Alice shares with the friends of her friends' parents; George is granted."""
+
+    def test_audience_is_exactly_george(self, evaluator):
+        expression = PathExpression.parse(WORKED_EXAMPLE_EXPRESSION)
+        assert (
+            evaluator.find_targets(ALICE, expression)
+            == WORKED_EXAMPLE_EXPECTED_AUDIENCE
+            == {GEORGE}
+        )
+
+    def test_witness_is_alice_colin_fred_george(self, evaluator):
+        expression = PathExpression.parse(WORKED_EXAMPLE_EXPRESSION)
+        result = evaluator.evaluate(ALICE, GEORGE, expression)
+        assert result.reachable
+        assert result.witness is not None
+        assert result.witness.nodes() == WORKED_EXAMPLE_WITNESS_NODES
+
+    @pytest.mark.parametrize("denied", [BILL, COLIN, DAVID, ELENA, FRED])
+    def test_everyone_else_is_denied(self, evaluator, denied):
+        expression = PathExpression.parse(WORKED_EXAMPLE_EXPRESSION)
+        assert not evaluator.evaluate(ALICE, denied, expression).reachable
+
+
+class TestSection2DavidExamples:
+    """'David is able to share his jokes with those who consider him as a friend...'."""
+
+    def test_incoming_friends_are_elena_and_colin(self, evaluator):
+        expression = PathExpression.parse(DAVID_INCOMING_FRIENDS_EXPRESSION)
+        assert evaluator.find_targets(DAVID, expression) == DAVID_INCOMING_FRIENDS
+
+    def test_extended_audience_includes_bill_and_george(self, evaluator):
+        expression = PathExpression.parse(DAVID_EXTENDED_AUDIENCE_EXPRESSION)
+        audience = evaluator.find_targets(DAVID, expression)
+        assert audience == DAVID_EXTENDED_AUDIENCE
+        assert {BILL, GEORGE} <= audience
+
+
+class TestDefinition1FriendPath:
+    """'From Alice to George, there is a friend-typed path of length 3.'"""
+
+    def test_friend_depth3_reaches_george(self, evaluator):
+        expression = PathExpression.parse(FRIEND_PATH_EXPRESSION)
+        result = evaluator.evaluate(ALICE, GEORGE, expression)
+        assert result.reachable
+        assert result.witness is not None
+        assert len(result.witness) == 3
+        assert set(result.witness.labels()) == {"friend"}
+
+
+class TestIntroductionScenarios:
+    """Access rules from the introduction, expressed and enforced over Figure 1."""
+
+    def test_only_friends_and_children_see_birthday_photos(self, graph):
+        store = PolicyStore()
+        store.share(COLIN, "colin-birthday", kind="photos")
+        store.allow("colin-birthday", "friend+[1]", description="my friends")
+        store.allow("colin-birthday", "parent+[1]", description="my children")
+        engine = AccessControlEngine(graph, store)
+        # Colin's outgoing friend edge goes to David; his child is Fred.
+        assert engine.is_allowed(DAVID, "colin-birthday")
+        assert engine.is_allowed(FRED, "colin-birthday")
+        assert engine.is_allowed(COLIN, "colin-birthday")  # owner
+        for other in (ALICE, BILL, ELENA, GEORGE):
+            assert not engine.is_allowed(other, "colin-birthday")
+
+    def test_children_and_their_friends_read_the_notes(self, graph):
+        store = PolicyStore()
+        store.share(DAVID, "david-notes", kind="notes")
+        store.allow("david-notes", ["parent+[1]/friend+[1]"], description="friends of my children")
+        store.allow("david-notes", ["parent+[1]"], description="my children")
+        engine = AccessControlEngine(graph, store)
+        # David's child is George; George has no outgoing friend edge, so the
+        # audience is exactly {George} (plus David, the owner).
+        assert engine.authorized_audience("david-notes") == {DAVID, GEORGE}
+
+    def test_multi_condition_rule_requires_all_conditions(self, graph):
+        store = PolicyStore()
+        store.share(ALICE, "alice-draft", kind="document")
+        store.allow("alice-draft", ["friend+[1,2]", "colleague+[1,2]"])
+        engine = AccessControlEngine(graph, store)
+        # David is a colleague (direct) and a friend of a friend (via Colin): granted.
+        assert engine.is_allowed(DAVID, "alice-draft")
+        # Colin is only a friend, not reachable by colleague edges: denied.
+        assert not engine.is_allowed(COLIN, "alice-draft")
+
+
+class TestBackendAgreementOnPaperGraph:
+    """All backends must return the same decision for every (user, expression) pair."""
+
+    EXPRESSIONS = [
+        Q1_EXPRESSION,
+        WORKED_EXAMPLE_EXPRESSION,
+        DAVID_INCOMING_FRIENDS_EXPRESSION,
+        DAVID_EXTENDED_AUDIENCE_EXPRESSION,
+        "friend+[1]",
+        "friend+[1,3]",
+        "colleague+[1]/friend+[1]",
+        "parent+[1]/friend+[1]{age >= 18}",
+        "friend*[1,2]",
+        "friend*[1,2]{gender = female}",
+    ]
+
+    @pytest.mark.parametrize("expression_text", EXPRESSIONS)
+    def test_same_audience_for_every_backend(self, graph, expression_text):
+        expression = PathExpression.parse(expression_text)
+        audiences = {}
+        for backend in BACKENDS:
+            evaluator = create_evaluator(backend, graph)
+            for owner in (ALICE, DAVID, ELENA):
+                audiences.setdefault(owner, set())
+                audience = frozenset(evaluator.find_targets(owner, expression))
+                audiences[owner].add(audience)
+        for owner, variants in audiences.items():
+            assert len(variants) == 1, f"backends disagree for owner {owner}: {variants}"

@@ -1,0 +1,104 @@
+"""Unit tests for policy validation and conflict analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_graph import ALICE, paper_graph
+from repro.policy.administration import (
+    analyze_policy,
+    find_redundant_rules,
+    validate_rule,
+)
+from repro.policy.rules import AccessRule
+from repro.policy.store import PolicyStore
+
+
+@pytest.fixture
+def graph():
+    return paper_graph()
+
+
+class TestValidateRule:
+    def test_clean_rule_has_no_issues(self, graph):
+        rule = AccessRule.build("res", ALICE, "friend+[1,2]/colleague+[1]", rule_id="r")
+        assert validate_rule(rule, graph) == []
+
+    def test_unknown_label_is_an_error(self, graph):
+        rule = AccessRule.build("res", ALICE, "follows+[1]", rule_id="r")
+        issues = validate_rule(rule, graph)
+        assert any(issue.severity == "error" and "follows" in issue.message for issue in issues)
+
+    def test_unknown_owner_is_an_error(self, graph):
+        rule = AccessRule.build("res", "Mallory", "friend+[1]", rule_id="r")
+        issues = validate_rule(rule, graph)
+        assert any("Mallory" in issue.message for issue in issues)
+
+    def test_excessive_depth_is_a_warning(self, graph):
+        rule = AccessRule.build("res", ALICE, "friend+[1,50]", rule_id="r")
+        issues = validate_rule(rule, graph)
+        assert any(issue.severity == "warning" and "depth" in issue.message for issue in issues)
+
+    def test_unknown_attribute_is_a_warning(self, graph):
+        rule = AccessRule.build("res", ALICE, "friend+[1]{salary >= 1000}", rule_id="r")
+        issues = validate_rule(rule, graph)
+        assert any("salary" in issue.message for issue in issues)
+
+    def test_issue_str(self, graph):
+        rule = AccessRule.build("res", ALICE, "follows+[1]", rule_id="r")
+        issue = validate_rule(rule, graph)[0]
+        assert "[error]" in str(issue) and "'r'" in str(issue)
+
+
+class TestRedundancy:
+    def test_identical_rules_on_same_resource_flagged(self):
+        store = PolicyStore()
+        store.share(ALICE, "res")
+        first = store.allow("res", "friend+[1]")
+        second = store.allow("res", "friend+[1]")
+        pairs = find_redundant_rules(store)
+        assert pairs == [(first.rule_id, second.rule_id)]
+
+    def test_same_conditions_on_different_resources_not_flagged(self):
+        store = PolicyStore()
+        store.share(ALICE, "a")
+        store.share(ALICE, "b")
+        store.allow("a", "friend+[1]")
+        store.allow("b", "friend+[1]")
+        assert find_redundant_rules(store) == []
+
+    def test_condition_order_does_not_matter(self):
+        store = PolicyStore()
+        store.share(ALICE, "res")
+        store.allow("res", ["friend+[1]", "colleague+[1]"])
+        store.allow("res", ["colleague+[1]", "friend+[1]"])
+        assert len(find_redundant_rules(store)) == 1
+
+
+class TestAnalyzePolicy:
+    def test_clean_store(self, graph):
+        store = PolicyStore()
+        store.share(ALICE, "res")
+        store.allow("res", "friend+[1]")
+        report = analyze_policy(store, graph)
+        assert report.is_clean()
+
+    def test_report_aggregates_everything(self, graph):
+        store = PolicyStore()
+        store.share(ALICE, "protected")
+        store.share(ALICE, "forgotten")
+        store.allow("protected", "follows+[1]")
+        store.allow("protected", "follows+[1]")
+        report = analyze_policy(store, graph)
+        assert not report.is_clean()
+        assert report.errors()
+        assert report.redundant_rules
+        assert report.unprotected_resources == ["forgotten"]
+
+    def test_errors_and_warnings_split(self, graph):
+        store = PolicyStore()
+        store.share(ALICE, "res")
+        store.allow("res", "follows+[1]{salary > 10}")
+        report = analyze_policy(store, graph)
+        assert len(report.errors()) == 1
+        assert len(report.warnings()) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the audit log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.policy.audit import AuditLog
+from repro.policy.decisions import AccessDecision, Effect
+
+
+def _decision(requester="Bob", resource="res", granted=True, elapsed=0.01):
+    return AccessDecision(
+        effect=Effect.GRANT if granted else Effect.DENY,
+        resource_id=resource,
+        owner="Alice",
+        requester=requester,
+        reason="test",
+        elapsed_seconds=elapsed,
+    )
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        log = AuditLog()
+        log.record(_decision())
+        log.record(_decision(granted=False))
+        assert len(log) == 2
+        assert len(log.entries()) == 2
+
+    def test_capacity_drops_oldest(self):
+        log = AuditLog(capacity=2)
+        log.record(_decision(requester="first"))
+        log.record(_decision(requester="second"))
+        log.record(_decision(requester="third"))
+        assert len(log) == 2
+        assert [entry.requester for entry in log] == ["second", "third"]
+
+    def test_clear(self):
+        log = AuditLog()
+        log.record(_decision())
+        log.clear()
+        assert len(log) == 0
+
+
+class TestQuerying:
+    @pytest.fixture
+    def log(self):
+        log = AuditLog()
+        log.record(_decision(requester="Bob", resource="r1", granted=True))
+        log.record(_decision(requester="Bob", resource="r2", granted=False))
+        log.record(_decision(requester="Carol", resource="r1", granted=True))
+        return log
+
+    def test_for_requester(self, log):
+        assert len(log.for_requester("Bob")) == 2
+        assert len(log.for_requester("Nobody")) == 0
+
+    def test_for_resource(self, log):
+        assert len(log.for_resource("r1")) == 2
+
+    def test_grants_and_denials(self, log):
+        assert len(log.grants()) == 2
+        assert len(log.denials()) == 1
+
+    def test_grant_rate(self, log):
+        assert log.grant_rate() == pytest.approx(2 / 3)
+        assert AuditLog().grant_rate() == 0.0
+
+    def test_requests_per_resource_and_requester(self, log):
+        assert log.requests_per_resource() == {"r1": 2, "r2": 1}
+        assert log.requests_per_requester() == {"Bob": 2, "Carol": 1}
+
+    def test_average_latency(self, log):
+        assert log.average_latency() == pytest.approx(0.01)
+        assert AuditLog().average_latency() == 0.0
+
+
+class TestSerialization:
+    def test_to_json_is_valid_and_complete(self):
+        log = AuditLog()
+        log.record(_decision(granted=True))
+        payload = json.loads(log.to_json())
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["effect"] == "grant"
+        assert entry["requester"] == "Bob"
+        assert entry["resource_id"] == "res"
+        assert "witnesses" in entry
+
+    def test_repr_mentions_grant_rate(self):
+        log = AuditLog()
+        log.record(_decision())
+        assert "grant rate" in repr(log)

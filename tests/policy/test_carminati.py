@@ -1,0 +1,109 @@
+"""Unit tests for the Carminati et al. baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResourceNotFoundError, RuleValidationError
+from repro.graph.builder import GraphBuilder
+from repro.policy.carminati import CarminatiEngine, CarminatiRule
+
+
+@pytest.fixture
+def graph():
+    """a -> b -> c -> d friendship chain with decreasing trust, plus a colleague edge."""
+    builder = GraphBuilder()
+    builder.relate("a", "b", "friend", trust=0.9)
+    builder.relate("b", "c", "friend", trust=0.8)
+    builder.relate("c", "d", "friend", trust=0.5)
+    builder.relate("a", "x", "colleague", trust=1.0)
+    return builder.build()
+
+
+class TestRuleValidation:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(RuleValidationError):
+            CarminatiRule("res", "a", "friend", max_depth=0)
+
+    def test_trust_must_be_in_unit_interval(self):
+        with pytest.raises(RuleValidationError):
+            CarminatiRule("res", "a", "friend", min_trust=1.5)
+
+    def test_describe(self):
+        rule = CarminatiRule("res", "a", "friend", max_depth=2, min_trust=0.5)
+        text = rule.describe()
+        assert "friend" in text and "2" in text and "0.5" in text
+
+
+class TestEngine:
+    def test_depth_limit(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend", max_depth=2))
+        assert engine.is_allowed("b", "res")
+        assert engine.is_allowed("c", "res")
+        assert not engine.is_allowed("d", "res")
+
+    def test_trust_threshold_uses_path_product(self, graph):
+        engine = CarminatiEngine(graph)
+        # a->b->c has aggregated trust 0.72; a->b->c->d only 0.36.
+        engine.add_rule(CarminatiRule("res", "a", "friend", max_depth=3, min_trust=0.7))
+        assert engine.is_allowed("c", "res")
+        assert not engine.is_allowed("d", "res")
+
+    def test_relationship_type_is_enforced(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend", max_depth=3))
+        assert not engine.is_allowed("x", "res")
+
+    def test_owner_always_allowed(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend"))
+        assert engine.is_allowed("a", "res")
+
+    def test_multiple_rules_any_grants(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend", max_depth=1))
+        engine.add_rule(CarminatiRule("res", "a", "colleague", max_depth=1))
+        assert engine.is_allowed("b", "res")
+        assert engine.is_allowed("x", "res")
+        assert not engine.is_allowed("c", "res")
+
+    def test_unknown_resource_raises(self, graph):
+        engine = CarminatiEngine(graph)
+        with pytest.raises(ResourceNotFoundError):
+            engine.check_access("b", "nothing")
+        with pytest.raises(ResourceNotFoundError):
+            engine.authorized_audience("nothing")
+
+    def test_conflicting_owner_rejected(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend"))
+        with pytest.raises(RuleValidationError):
+            engine.add_rule(CarminatiRule("res", "b", "friend"))
+
+    def test_authorized_audience(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend", max_depth=2, min_trust=0.7))
+        assert engine.authorized_audience("res") == {"a", "b", "c"}
+
+    def test_decision_metadata(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "a", "friend"))
+        decision = engine.check_access("b", "res")
+        assert decision.granted
+        assert decision.owner == "a" and decision.requester == "b"
+        denied = engine.check_access("d", "res")
+        assert not denied.granted and "no depth/trust rule" in denied.reason
+
+    def test_edges_without_trust_count_as_full_trust(self):
+        builder = GraphBuilder()
+        builder.relate("a", "b", "friend")  # no trust attribute
+        engine = CarminatiEngine(builder.build())
+        engine.add_rule(CarminatiRule("res", "a", "friend", min_trust=0.99))
+        assert engine.is_allowed("b", "res")
+
+    def test_owner_missing_from_graph_denies_everyone_else(self, graph):
+        engine = CarminatiEngine(graph)
+        engine.add_rule(CarminatiRule("res", "ghost", "friend"))
+        assert not engine.is_allowed("a", "res")
+        assert engine.is_allowed("ghost", "res")  # the owner themselves

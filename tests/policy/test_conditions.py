@@ -1,0 +1,116 @@
+"""Unit tests for attribute conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownOperatorError
+from repro.policy.conditions import AttributeCondition, evaluate_conditions
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "operator, value, attrs, expected",
+        [
+            ("=", 24, {"age": 24}, True),
+            ("=", 24, {"age": 25}, False),
+            ("==", "female", {"gender": "female"}, True),
+            ("!=", "female", {"gender": "male"}, True),
+            ("!=", "female", {"gender": "female"}, False),
+            ("<", 18, {"age": 12}, True),
+            ("<", 18, {"age": 18}, False),
+            ("<=", 18, {"age": 18}, True),
+            (">", 18, {"age": 19}, True),
+            (">=", 18, {"age": 18}, True),
+            (">=", 18, {"age": 17}, False),
+        ],
+    )
+    def test_comparisons(self, operator, value, attrs, expected):
+        condition = AttributeCondition("age" if "age" in attrs else "gender", operator, value)
+        assert condition.evaluate(attrs) is expected
+
+    def test_missing_attribute_never_satisfies(self):
+        assert not AttributeCondition("age", ">=", 18).evaluate({})
+        assert not AttributeCondition("age", "=", None).evaluate({})
+
+    def test_numeric_coercion_of_strings(self):
+        condition = AttributeCondition("age", ">=", 18)
+        assert condition.evaluate({"age": "21"})
+        assert not condition.evaluate({"age": "12"})
+
+    def test_incomparable_types_do_not_crash(self):
+        condition = AttributeCondition("age", ">", 18)
+        assert condition.evaluate({"age": "abc"}) is False
+
+    def test_in_operator(self):
+        condition = AttributeCondition("city", "in", ("paris", "rome"))
+        assert condition.evaluate({"city": "paris"})
+        assert not condition.evaluate({"city": "berlin"})
+
+    def test_in_operator_with_non_collection_value(self):
+        assert not AttributeCondition("city", "in", 42).evaluate({"city": "paris"})
+
+    def test_contains_operator_is_case_insensitive(self):
+        condition = AttributeCondition("job", "~", "ENGINEER")
+        assert condition.evaluate({"job": "Software Engineer"})
+        assert not condition.evaluate({"job": "teacher"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(UnknownOperatorError):
+            AttributeCondition("age", "<>", 18)
+
+    def test_evaluate_conditions_all_must_hold(self):
+        conditions = [
+            AttributeCondition("age", ">=", 18),
+            AttributeCondition("gender", "=", "female"),
+        ]
+        assert evaluate_conditions(conditions, {"age": 30, "gender": "female"})
+        assert not evaluate_conditions(conditions, {"age": 30, "gender": "male"})
+        assert evaluate_conditions([], {"anything": 1})
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, attribute, operator, value",
+        [
+            ("age >= 18", "age", ">=", 18),
+            ("age>=18", "age", ">=", 18),
+            ("gender = female", "gender", "=", "female"),
+            ("gender == female", "gender", "==", "female"),
+            ("score < 3.5", "score", "<", 3.5),
+            ("name != 'bob'", "name", "!=", "bob"),
+            ('city = "new york"', "city", "=", "new york"),
+            ("active = true", "active", "=", True),
+            ("active != false", "active", "!=", False),
+            ("job ~ engineer", "job", "~", "engineer"),
+        ],
+    )
+    def test_parse_simple(self, text, attribute, operator, value):
+        condition = AttributeCondition.parse(text)
+        assert condition.attribute == attribute
+        assert condition.operator == operator
+        assert condition.value == value
+
+    def test_parse_list_literal(self):
+        condition = AttributeCondition.parse("city in [paris, rome, 3]")
+        assert condition.operator == "in"
+        assert condition.value == ("paris", "rome", 3)
+
+    def test_parse_empty_list(self):
+        assert AttributeCondition.parse("city in []").value == ()
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(UnknownOperatorError):
+            AttributeCondition.parse("completely broken")
+
+    def test_round_trip_through_text(self):
+        for text in ["age >= 18", "gender = female", "city in [paris, rome]"]:
+            condition = AttributeCondition.parse(text)
+            again = AttributeCondition.parse(condition.to_text())
+            assert again == condition
+
+    def test_to_text_normalizes_double_equals(self):
+        assert AttributeCondition("a", "==", 1).to_text() == "a = 1"
+
+    def test_str_is_text_form(self):
+        assert str(AttributeCondition("age", ">=", 18)) == "age >= 18"

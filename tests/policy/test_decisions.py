@@ -1,0 +1,90 @@
+"""Unit tests for access decisions and their explanations."""
+
+from __future__ import annotations
+
+from repro.graph.paths import Path, Traversal
+from repro.graph.social_graph import Relationship
+from repro.policy.decisions import AccessDecision, ConditionOutcome, Effect, RuleOutcome
+from repro.policy.rules import AccessCondition, AccessRule
+
+
+def _witness():
+    rel = Relationship("Alice", "Bob", "friend")
+    return Path("Alice", (Traversal(rel),))
+
+
+def _rule_outcome(satisfied: bool, with_witness: bool = True):
+    condition = AccessCondition.parse("Alice", "friend+[1]")
+    rule = AccessRule(resource_id="res", conditions=(condition,), rule_id="r1")
+    outcome = ConditionOutcome(
+        condition=condition,
+        satisfied=satisfied,
+        witness=_witness() if (satisfied and with_witness) else None,
+    )
+    return RuleOutcome(rule=rule, satisfied=satisfied, condition_outcomes=(outcome,))
+
+
+class TestEffect:
+    def test_truthiness(self):
+        assert bool(Effect.GRANT)
+        assert not bool(Effect.DENY)
+
+
+class TestConditionOutcome:
+    def test_describe_satisfied_with_witness(self):
+        outcome = ConditionOutcome(AccessCondition.parse("Alice", "friend"), True, _witness())
+        text = outcome.describe()
+        assert "satisfied" in text
+        assert "Alice -> Bob" in text
+
+    def test_describe_unsatisfied(self):
+        outcome = ConditionOutcome(AccessCondition.parse("Alice", "friend"), False)
+        assert "not satisfied" in outcome.describe()
+
+
+class TestRuleOutcome:
+    def test_describe(self):
+        text = _rule_outcome(True).describe()
+        assert "SATISFIED" in text and "r1" in text
+
+    def test_describe_unsatisfied(self):
+        assert "not satisfied" in _rule_outcome(False).describe()
+
+
+class TestAccessDecision:
+    def _decision(self, granted: bool):
+        return AccessDecision(
+            effect=Effect.GRANT if granted else Effect.DENY,
+            resource_id="res",
+            owner="Alice",
+            requester="Bob",
+            rule_outcomes=(_rule_outcome(granted),),
+            reason="because",
+        )
+
+    def test_granted_and_bool(self):
+        assert self._decision(True).granted
+        assert bool(self._decision(True))
+        assert not self._decision(False).granted
+
+    def test_matched_rule(self):
+        assert self._decision(True).matched_rule().rule_id == "r1"
+        assert self._decision(False).matched_rule() is None
+
+    def test_witnesses_collected(self):
+        witnesses = self._decision(True).witnesses()
+        assert len(witnesses) == 1
+        assert witnesses[0].nodes() == ["Alice", "Bob"]
+        assert self._decision(False).witnesses() == []
+
+    def test_explain_mentions_everything(self):
+        text = self._decision(True).explain()
+        assert "GRANTED" in text
+        assert "'res'" in text and "'Bob'" in text and "because" in text
+        assert str(self._decision(True)) == text
+
+    def test_explain_denied(self):
+        assert "DENIED" in self._decision(False).explain()
+
+    def test_timestamp_populated(self):
+        assert self._decision(True).timestamp > 0

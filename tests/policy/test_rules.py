@@ -1,0 +1,91 @@
+"""Unit tests for AccessCondition and AccessRule (Definitions 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleValidationError
+from repro.policy.path_expression import PathExpression
+from repro.policy.rules import AccessCondition, AccessRule, CombinationMode
+
+
+class TestAccessCondition:
+    def test_parse(self):
+        condition = AccessCondition.parse("Alice", "friend+[1,2]/colleague+[1]")
+        assert condition.owner == "Alice"
+        assert condition.path.labels() == ("friend", "colleague")
+
+    def test_describe_uses_paper_notation(self):
+        condition = AccessCondition.parse("Alice", "friend+[1,2]")
+        assert condition.describe() == "Alice/friend+[1,2]"
+        assert str(condition) == condition.describe()
+
+    def test_equality(self):
+        first = AccessCondition.parse("Alice", "friend")
+        second = AccessCondition("Alice", PathExpression.parse("friend"))
+        assert first == second
+
+
+class TestCombinationMode:
+    def test_coerce_from_string(self):
+        assert CombinationMode.coerce("all") is CombinationMode.ALL
+        assert CombinationMode.coerce("any") is CombinationMode.ANY
+        assert CombinationMode.coerce(CombinationMode.ALL) is CombinationMode.ALL
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(RuleValidationError):
+            CombinationMode.coerce("sometimes")
+
+
+class TestAccessRule:
+    def test_build_from_single_expression(self):
+        rule = AccessRule.build("res", "Alice", "friend+[1,2]")
+        assert rule.owner == "Alice"
+        assert rule.resource_id == "res"
+        assert rule.condition_count() == 1
+        assert rule.combination is CombinationMode.ALL
+
+    def test_build_from_multiple_expressions(self):
+        rule = AccessRule.build("res", "Alice", ["friend+[1]", "colleague+[1]"], combination="any")
+        assert rule.condition_count() == 2
+        assert rule.combination is CombinationMode.ANY
+
+    def test_empty_condition_set_rejected(self):
+        with pytest.raises(RuleValidationError):
+            AccessRule(resource_id="res", conditions=())
+
+    def test_mixed_owners_rejected(self):
+        conditions = (
+            AccessCondition.parse("Alice", "friend"),
+            AccessCondition.parse("Bob", "friend"),
+        )
+        with pytest.raises(RuleValidationError):
+            AccessRule(resource_id="res", conditions=conditions)
+
+    def test_string_combination_is_coerced(self):
+        rule = AccessRule(
+            resource_id="res",
+            conditions=(AccessCondition.parse("Alice", "friend"),),
+            combination="any",
+        )
+        assert rule.combination is CombinationMode.ANY
+
+    def test_describe_lists_conditions(self):
+        rule = AccessRule.build(
+            "res", "Alice", ["friend+[1]", "colleague+[1]"], rule_id="r1", description="demo"
+        )
+        text = rule.describe()
+        assert "r1" in text and "demo" in text
+        assert "Alice/friend+[1]" in text and "Alice/colleague+[1]" in text
+        assert "all of" in text
+
+    def test_describe_any_mode(self):
+        rule = AccessRule.build("res", "Alice", ["friend"], combination="any")
+        assert "any of" in rule.describe()
+
+    def test_rules_are_immutable_value_objects(self):
+        rule = AccessRule.build("res", "Alice", "friend", rule_id="r1")
+        same = AccessRule.build("res", "Alice", "friend", rule_id="r1")
+        assert rule == same
+        with pytest.raises(AttributeError):
+            rule.resource_id = "other"  # type: ignore[misc]

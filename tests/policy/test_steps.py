@@ -1,0 +1,97 @@
+"""Unit tests for Direction, DepthInterval and Step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleValidationError
+from repro.policy.conditions import AttributeCondition
+from repro.policy.steps import DepthInterval, Direction, Step
+
+
+class TestDirection:
+    def test_symbols(self):
+        assert Direction.from_symbol("+") is Direction.OUTGOING
+        assert Direction.from_symbol("-") is Direction.INCOMING
+        assert Direction.from_symbol("*") is Direction.ANY
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(RuleValidationError):
+            Direction.from_symbol("?")
+
+    def test_traversal_permissions(self):
+        assert Direction.OUTGOING.allows_forward() and not Direction.OUTGOING.allows_backward()
+        assert Direction.INCOMING.allows_backward() and not Direction.INCOMING.allows_forward()
+        assert Direction.ANY.allows_forward() and Direction.ANY.allows_backward()
+
+    def test_str(self):
+        assert str(Direction.OUTGOING) == "+"
+        assert str(Direction.ANY) == "*"
+
+
+class TestDepthInterval:
+    def test_defaults_to_direct_relationship(self):
+        interval = DepthInterval()
+        assert interval.minimum == 1 and interval.maximum == 1
+        assert interval.width() == 1
+
+    def test_membership(self):
+        interval = DepthInterval(2, 4)
+        assert 2 in interval and 3 in interval and 4 in interval
+        assert 1 not in interval and 5 not in interval
+        assert "3" not in interval  # non-int values never belong
+
+    def test_iteration(self):
+        assert list(DepthInterval(1, 3)) == [1, 2, 3]
+
+    def test_invalid_minimum(self):
+        with pytest.raises(RuleValidationError):
+            DepthInterval(0, 2)
+
+    def test_maximum_below_minimum(self):
+        with pytest.raises(RuleValidationError):
+            DepthInterval(3, 2)
+
+    def test_text_form(self):
+        assert DepthInterval(1, 1).to_text() == "[1]"
+        assert DepthInterval(1, 3).to_text() == "[1,3]"
+
+    def test_ordering(self):
+        assert DepthInterval(1, 2) < DepthInterval(2, 2)
+
+
+class TestStep:
+    def test_defaults(self):
+        step = Step("friend")
+        assert step.direction is Direction.OUTGOING
+        assert step.min_depth() == 1 and step.max_depth() == 1
+        assert step.conditions == ()
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Step("")
+
+    def test_satisfied_by(self):
+        step = Step("friend", conditions=(AttributeCondition("age", ">=", 18),))
+        assert step.satisfied_by({"age": 20})
+        assert not step.satisfied_by({"age": 10})
+        assert not step.satisfied_by({})
+
+    def test_satisfied_by_without_conditions(self):
+        assert Step("friend").satisfied_by({})
+
+    def test_text_form_minimal(self):
+        assert Step("friend").to_text() == "friend+[1]"
+
+    def test_text_form_full(self):
+        step = Step(
+            "colleague",
+            direction=Direction.ANY,
+            depths=DepthInterval(1, 3),
+            conditions=(AttributeCondition("age", ">=", 18), AttributeCondition("city", "=", "paris")),
+        )
+        assert step.to_text() == "colleague*[1,3]{age >= 18, city = paris}"
+
+    def test_str_matches_to_text(self):
+        step = Step("parent", direction=Direction.INCOMING, depths=DepthInterval(2, 2))
+        assert str(step) == "parent-[2]"

@@ -1,0 +1,121 @@
+"""Unit tests for the PolicyStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResourceNotFoundError, RuleNotFoundError, RuleValidationError
+from repro.policy.resources import Resource
+from repro.policy.rules import AccessRule
+from repro.policy.store import PolicyStore
+
+
+@pytest.fixture
+def store():
+    store = PolicyStore()
+    store.share("Alice", "photos", kind="album")
+    store.share("Alice", "notes", kind="notes")
+    store.share("David", "jokes", kind="notes")
+    return store
+
+
+class TestResources:
+    def test_share_registers_resource(self, store):
+        resource = store.resource("photos")
+        assert resource.owner == "Alice"
+        assert resource.metadata["kind"] == "album"
+
+    def test_register_resource_idempotent_for_identical(self, store):
+        store.register_resource(Resource("photos", "Alice", {"kind": "album"}))
+        assert store.resource_count() == 3
+
+    def test_register_conflicting_resource_rejected(self, store):
+        with pytest.raises(RuleValidationError):
+            store.register_resource(Resource("photos", "Mallory", {}))
+
+    def test_missing_resource_raises(self, store):
+        with pytest.raises(ResourceNotFoundError):
+            store.resource("nothing")
+
+    def test_has_resource(self, store):
+        assert store.has_resource("photos")
+        assert not store.has_resource("nothing")
+
+    def test_resources_owned_by(self, store):
+        owned = {resource.resource_id for resource in store.resources_owned_by("Alice")}
+        assert owned == {"photos", "notes"}
+        assert store.resources_owned_by("Nobody") == []
+
+    def test_remove_resource_drops_its_rules(self, store):
+        store.allow("photos", "friend+[1]")
+        store.remove_resource("photos")
+        assert not store.has_resource("photos")
+        assert store.rule_count() == 0
+
+    def test_remove_missing_resource_raises(self, store):
+        with pytest.raises(ResourceNotFoundError):
+            store.remove_resource("nothing")
+
+
+class TestRules:
+    def test_allow_generates_rule_ids(self, store):
+        first = store.allow("photos", "friend+[1]")
+        second = store.allow("photos", "colleague+[1]")
+        assert first.rule_id != second.rule_id
+        assert store.rule_count() == 2
+
+    def test_allow_uses_resource_owner(self, store):
+        rule = store.allow("jokes", "friend-[1]")
+        assert rule.owner == "David"
+
+    def test_allow_on_unknown_resource_raises(self, store):
+        with pytest.raises(ResourceNotFoundError):
+            store.allow("nothing", "friend")
+
+    def test_add_rule_checks_owner(self, store):
+        rule = AccessRule.build("photos", "Mallory", "friend")
+        with pytest.raises(RuleValidationError):
+            store.add_rule(rule)
+
+    def test_add_rule_with_explicit_id(self, store):
+        rule = AccessRule.build("photos", "Alice", "friend", rule_id="my-rule")
+        stored = store.add_rule(rule)
+        assert stored.rule_id == "my-rule"
+        assert store.rule("my-rule") == stored
+
+    def test_duplicate_rule_id_rejected(self, store):
+        store.add_rule(AccessRule.build("photos", "Alice", "friend", rule_id="dup"))
+        with pytest.raises(RuleValidationError):
+            store.add_rule(AccessRule.build("notes", "Alice", "friend", rule_id="dup"))
+
+    def test_rules_for(self, store):
+        store.allow("photos", "friend+[1]")
+        store.allow("photos", "colleague+[1]")
+        store.allow("notes", "parent+[1]")
+        assert len(store.rules_for("photos")) == 2
+        assert len(store.rules_for("notes")) == 1
+        assert store.rules_for("jokes") == []
+
+    def test_rules_for_unknown_resource_raises(self, store):
+        with pytest.raises(ResourceNotFoundError):
+            store.rules_for("nothing")
+
+    def test_remove_rule(self, store):
+        rule = store.allow("photos", "friend+[1]")
+        store.remove_rule(rule.rule_id)
+        assert store.rules_for("photos") == []
+        with pytest.raises(RuleNotFoundError):
+            store.rule(rule.rule_id)
+
+    def test_remove_missing_rule_raises(self, store):
+        with pytest.raises(RuleNotFoundError):
+            store.remove_rule("nothing")
+
+    def test_len_counts_rules(self, store):
+        store.allow("photos", "friend+[1]")
+        assert len(store) == 1
+
+    def test_allow_multi_condition_rule(self, store):
+        rule = store.allow("photos", ["friend+[1,2]", "colleague+[1,2]"], description="close collaborators")
+        assert rule.condition_count() == 2
+        assert rule.description == "close collaborators"

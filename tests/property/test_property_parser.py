@@ -1,0 +1,93 @@
+"""Property-based tests for the path-expression language."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PathExpressionSyntaxError, ReproError
+from repro.policy.conditions import AttributeCondition
+from repro.policy.path_expression import PathExpression
+from repro.policy.steps import DepthInterval, Direction, Step
+
+SETTINGS = dict(max_examples=100, deadline=None)
+
+LABELS = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+
+@st.composite
+def steps(draw):
+    low = draw(st.integers(1, 5))
+    high = draw(st.integers(low, 6))
+    conditions = []
+    for _ in range(draw(st.integers(0, 2))):
+        conditions.append(
+            AttributeCondition(
+                draw(st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True)),
+                draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="])),
+                draw(st.one_of(st.integers(-100, 100), st.sampled_from(["paris", "female", "engineer"]))),
+            )
+        )
+    return Step(
+        label=draw(LABELS),
+        direction=draw(st.sampled_from(list(Direction))),
+        depths=DepthInterval(low, high),
+        conditions=tuple(conditions),
+    )
+
+
+@st.composite
+def path_expressions(draw):
+    return PathExpression.of(*[draw(steps()) for _ in range(draw(st.integers(1, 4)))])
+
+
+@given(path_expressions())
+@settings(**SETTINGS)
+def test_to_text_parse_round_trip(expression):
+    """Rendering and re-parsing an expression is the identity."""
+    assert PathExpression.parse(expression.to_text()) == expression
+
+
+@given(path_expressions())
+@settings(**SETTINGS)
+def test_lengths_are_consistent(expression):
+    assert 1 <= expression.min_length() <= expression.max_length()
+    assert expression.expansion_count() >= 1
+    assert len(expression.labels()) == len(expression)
+
+
+@given(path_expressions())
+@settings(**SETTINGS)
+def test_expansion_matches_declared_count_and_lengths(expression):
+    from repro.reachability.query import expand_line_queries
+
+    if expression.expansion_count() > 512:
+        return
+    queries = expand_line_queries(expression, limit=None)
+    assert len(queries) == expression.expansion_count()
+    for query in queries:
+        assert expression.min_length() <= len(query) <= expression.max_length()
+        # Hop labels follow the step order.
+        step_indices = [hop.step_index for hop in query]
+        assert step_indices == sorted(step_indices)
+        closing = [hop.step_index for hop in query if hop.closes_step]
+        assert closing == list(range(len(expression)))
+
+
+@given(st.text(max_size=30))
+@settings(**SETTINGS)
+def test_parser_never_crashes_with_unexpected_exceptions(text):
+    """Arbitrary garbage either parses or raises the library's own error type."""
+    try:
+        PathExpression.parse(text)
+    except ReproError:
+        pass  # PathExpressionSyntaxError (or a condition error wrapped into it)
+
+
+@given(st.text(alphabet="abc+-*[]{},/ 0123456789", max_size=25))
+@settings(**SETTINGS)
+def test_parser_never_crashes_on_expression_like_garbage(text):
+    try:
+        PathExpression.parse(text)
+    except PathExpressionSyntaxError:
+        pass

@@ -1,0 +1,72 @@
+"""Unit tests for the step automaton used by the online evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.path_expression import PathExpression
+from repro.reachability.automaton import AutomatonState, StepAutomaton
+
+
+@pytest.fixture
+def automaton():
+    return StepAutomaton(PathExpression.parse("friend+[1,2]{age >= 18}/colleague-[1]"))
+
+
+class TestStates:
+    def test_start_state(self, automaton):
+        assert automaton.start_state == AutomatonState(0, 0)
+
+    def test_accepting_state(self, automaton):
+        assert automaton.is_accepting(AutomatonState(2, 0))
+        assert not automaton.is_accepting(AutomatonState(1, 0))
+
+    def test_state_ordering_and_str(self):
+        assert AutomatonState(0, 1) < AutomatonState(1, 0)
+        assert "step=0" in str(AutomatonState(0, 1))
+
+    def test_state_count_bound(self, automaton):
+        assert automaton.state_count_bound() == (2 + 1) + (1 + 1) + 1
+
+
+class TestTransitions:
+    def test_edge_requirements_follow_current_step(self, automaton):
+        label, forward, backward = automaton.edge_requirements(AutomatonState(0, 0))
+        assert label == "friend" and forward and not backward
+        label, forward, backward = automaton.edge_requirements(AutomatonState(1, 0))
+        assert label == "colleague" and not forward and backward
+
+    def test_can_traverse_more_respects_max_depth(self, automaton):
+        assert automaton.can_traverse_more(AutomatonState(0, 0))
+        assert automaton.can_traverse_more(AutomatonState(0, 1))
+        assert not automaton.can_traverse_more(AutomatonState(0, 2))
+        assert not automaton.can_traverse_more(AutomatonState(2, 0))
+
+    def test_after_edge_increments_depth(self, automaton):
+        assert automaton.after_edge(AutomatonState(0, 1)) == AutomatonState(0, 2)
+
+
+class TestClosure:
+    def test_no_advance_before_minimum_depth(self, automaton):
+        states = automaton.closure(AutomatonState(0, 0), {"age": 30})
+        assert states == [AutomatonState(0, 0)]
+
+    def test_advance_when_depth_and_conditions_hold(self, automaton):
+        states = automaton.closure(AutomatonState(0, 1), {"age": 30})
+        assert states == [AutomatonState(0, 1), AutomatonState(1, 0)]
+
+    def test_no_advance_when_conditions_fail(self, automaton):
+        states = automaton.closure(AutomatonState(0, 1), {"age": 10})
+        assert states == [AutomatonState(0, 1)]
+
+    def test_advance_to_accepting_state(self, automaton):
+        states = automaton.closure(AutomatonState(1, 1), {"age": 99})
+        assert states == [AutomatonState(1, 1), AutomatonState(2, 0)]
+        assert automaton.is_accepting(states[-1])
+
+    def test_closure_of_accepting_state_is_itself(self, automaton):
+        assert automaton.closure(AutomatonState(2, 0), {}) == [AutomatonState(2, 0)]
+
+    def test_iteration_and_repr(self, automaton):
+        assert [step.label for step in automaton] == ["friend", "colleague"]
+        assert "friend" in repr(automaton)

@@ -1,0 +1,83 @@
+"""Unit tests for the online DFS evaluator (must agree with BFS everywhere)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.dfs import OnlineDFSEvaluator
+from repro.workloads.queries import random_query_mix
+
+
+def expr(text):
+    return PathExpression.parse(text)
+
+
+@pytest.fixture
+def evaluator(figure1):
+    return OnlineDFSEvaluator(figure1).build()
+
+
+class TestSemantics:
+    def test_direct_edge(self, evaluator):
+        assert evaluator.evaluate("Alice", "Colin", expr("friend+[1]")).reachable
+        assert not evaluator.evaluate("Colin", "Alice", expr("friend+[1]")).reachable
+
+    def test_multi_step_with_conditions(self, evaluator):
+        assert evaluator.evaluate("Alice", "Fred", expr("friend+[1,2]/colleague+[1]")).reachable
+        assert not evaluator.evaluate(
+            "Alice", "Fred", expr("friend+[1,2]/colleague+[1]{age >= 18}")
+        ).reachable
+
+    def test_witness_is_valid_even_if_not_shortest(self, evaluator):
+        result = evaluator.evaluate("Alice", "George", expr("friend+[1,3]"))
+        assert result.reachable
+        witness = result.witness
+        assert witness.start == "Alice" and witness.end == "George"
+        assert set(witness.labels()) == {"friend"}
+        assert 1 <= len(witness) <= 3
+
+    def test_find_targets(self, evaluator):
+        assert evaluator.find_targets("Alice", expr("friend+[1]")) == {"Colin", "Bill"}
+
+    def test_unknown_user_raises(self, evaluator):
+        with pytest.raises(NodeNotFoundError):
+            evaluator.evaluate("Ghost", "Alice", expr("friend"))
+
+    def test_counters_and_statistics(self, evaluator):
+        result = evaluator.evaluate("Alice", "George", expr("friend+[1,3]"))
+        assert result.counters["states_visited"] > 0
+        assert evaluator.statistics()["index_entries"] == 0
+
+    def test_collect_witness_false(self, evaluator):
+        result = evaluator.evaluate("Alice", "Colin", expr("friend"), collect_witness=False)
+        assert result.reachable and result.witness is None
+
+
+class TestAgreementWithBFS:
+    def test_same_decisions_on_figure1(self, figure1):
+        bfs = OnlineBFSEvaluator(figure1)
+        dfs = OnlineDFSEvaluator(figure1)
+        expressions = [
+            "friend+[1]", "friend+[1,2]", "friend+[1,3]", "friend-[1,2]", "friend*[1,2]",
+            "friend+[1,2]/colleague+[1]", "friend+[1]/parent+[1]/friend+[1]",
+            "colleague+[1]/friend*[1,2]", "parent-[1]/friend-[1]",
+        ]
+        users = sorted(figure1.users())
+        for text in expressions:
+            expression = expr(text)
+            for source in users:
+                assert bfs.find_targets(source, expression) == dfs.find_targets(source, expression), (
+                    text, source
+                )
+
+    def test_same_decisions_on_random_graph(self, small_random_graph):
+        bfs = OnlineBFSEvaluator(small_random_graph)
+        dfs = OnlineDFSEvaluator(small_random_graph)
+        for source, target, expression in random_query_mix(small_random_graph, 60, seed=5):
+            assert (
+                bfs.evaluate(source, target, expression, collect_witness=False).reachable
+                == dfs.evaluate(source, target, expression, collect_witness=False).reachable
+            ), (source, target, expression.to_text())

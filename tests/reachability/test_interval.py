@@ -1,0 +1,147 @@
+"""Unit tests for the interval labeling and the Figure-5 reachability table."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ReachabilityError
+from repro.reachability.interval import IntervalLabeling, ReachabilityTable, topological_order
+from repro.reachability.linegraph import LineGraph
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        order = topological_order({"a": ["b"], "b": ["c"], "c": []})
+        assert order == ["a", "b", "c"]
+
+    def test_diamond_respects_dependencies(self):
+        order = topological_order({"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []})
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ReachabilityError):
+            topological_order({"a": ["b"], "b": ["a"]})
+
+    def test_deterministic(self):
+        adjacency = {"z": [], "m": ["z"], "a": ["z"]}
+        assert topological_order(adjacency) == topological_order(adjacency)
+
+    def test_includes_sink_only_nodes(self):
+        assert set(topological_order({"a": ["b"]})) == {"a", "b"}
+
+
+class TestIntervalLabeling:
+    def _check_against_networkx(self, adjacency):
+        labeling = IntervalLabeling(adjacency)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(labeling.nodes())
+        for node, successors in adjacency.items():
+            graph.add_edges_from((node, successor) for successor in successors)
+        for source in graph.nodes:
+            for target in graph.nodes:
+                assert labeling.reaches(source, target) == nx.has_path(graph, source, target), (
+                    source,
+                    target,
+                )
+
+    def test_chain(self):
+        self._check_against_networkx({"a": ["b"], "b": ["c"], "c": ["d"], "d": []})
+
+    def test_tree(self):
+        self._check_against_networkx({"r": ["a", "b"], "a": ["c", "d"], "b": ["e"],
+                                      "c": [], "d": [], "e": []})
+
+    def test_diamond_with_cross_edges(self):
+        self._check_against_networkx(
+            {"a": ["b", "c"], "b": ["d"], "c": ["d", "e"], "d": ["f"], "e": ["f"], "f": []}
+        )
+
+    def test_forest_with_multiple_roots(self):
+        self._check_against_networkx({"a": ["c"], "b": ["c"], "c": [], "x": ["y"], "y": []})
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_dags(self, seed):
+        graph = nx.gnp_random_graph(25, 0.12, seed=seed, directed=True)
+        dag = nx.DiGraph((u, v) for u, v in graph.edges if u < v)
+        dag.add_nodes_from(graph.nodes)
+        adjacency = {node: list(dag.successors(node)) for node in dag.nodes}
+        self._check_against_networkx(adjacency)
+
+    def test_postorder_numbers_are_a_permutation(self):
+        labeling = IntervalLabeling({"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []})
+        numbers = sorted(labeling.postorder.values())
+        assert numbers == list(range(1, 5))
+
+    def test_every_node_interval_contains_its_own_postorder(self):
+        labeling = IntervalLabeling({"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []})
+        for node, intervals in labeling.intervals.items():
+            number = labeling.postorder[node]
+            assert any(low <= number <= high for low, high in intervals)
+
+    def test_label_size_counts_intervals(self):
+        labeling = IntervalLabeling({"a": ["b"], "b": []})
+        assert labeling.label_size() == sum(len(v) for v in labeling.intervals.values())
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ReachabilityError):
+            IntervalLabeling({"a": ["b"], "b": ["a"]})
+
+
+class TestReachabilityTable:
+    @pytest.fixture
+    def line_graph(self, figure1):
+        return LineGraph(figure1, include_reverse=False)
+
+    @pytest.fixture
+    def table(self, line_graph):
+        return ReachabilityTable(line_graph.adjacency())
+
+    def test_one_row_per_line_vertex(self, table, line_graph):
+        assert len(table.rows()) == line_graph.number_of_vertices() == 12
+
+    def test_forward_reachability_matches_graph_walks(self, table, line_graph):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(line_graph.vertex_ids())
+        for vertex, successors in line_graph.adjacency().items():
+            graph.add_edges_from((vertex, successor) for successor in successors)
+        for source in graph.nodes:
+            for target in graph.nodes:
+                assert table.reaches(source, target) == (
+                    source == target or nx.has_path(graph, source, target)
+                ), (source, target)
+
+    def test_backward_labeling_is_consistent_with_forward(self, table, line_graph):
+        for source in line_graph.vertex_ids():
+            for target in line_graph.vertex_ids():
+                assert table.reaches(source, target) == table.reached_by(target, source)
+
+    def test_worked_join_example_pairs_are_reachable(self, table):
+        """Pairs listed in Section 3.3's worked joins must be reachable in L(G)."""
+        assert table.reaches("friend:Alice->Colin", "colleague:David->Fred")
+        assert table.reaches("friend:Alice->Colin", "parent:David->George")
+        assert table.reaches("friend:Colin->David", "parent:David->George")
+        assert table.reaches("friend:Alice->Colin", "parent:Colin->Fred")
+        assert table.reaches("parent:Colin->Fred", "friend:Fred->George")
+
+    def test_rows_have_both_labelings(self, table):
+        for row in table.rows():
+            assert row.postorder_down >= 1 and row.postorder_up >= 1
+            assert row.intervals_down and row.intervals_up
+            assert "\t" in row.format()
+
+    def test_format_contains_header_and_all_nodes(self, table):
+        text = table.format()
+        assert text.splitlines()[0].startswith("node")
+        assert len(text.splitlines()) == 13
+        assert "friend:Alice->Colin" in text
+
+    def test_label_size_positive(self, table):
+        assert table.label_size() >= 24
+
+    def test_handles_cyclic_input_via_condensation(self):
+        table = ReachabilityTable({"a": ["b"], "b": ["a", "c"], "c": []})
+        assert table.reaches("a", "c")
+        assert table.reaches("b", "a")
+        assert not table.reaches("c", "a")

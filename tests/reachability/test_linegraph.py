@@ -1,0 +1,115 @@
+"""Unit tests for the line-graph construction (Definition 4, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.reachability.linegraph import FORWARD, REVERSE, LineGraph
+
+
+class TestForwardOnlyLineGraph:
+    """The paper's construction: one line vertex per edge of G."""
+
+    @pytest.fixture
+    def line_graph(self, figure1):
+        return LineGraph(figure1, include_reverse=False)
+
+    def test_one_vertex_per_relationship(self, line_graph, figure1):
+        assert line_graph.number_of_vertices() == figure1.number_of_relationships() == 12
+
+    def test_vertices_carry_label_and_endpoints(self, line_graph):
+        vertex = line_graph.vertex("friend:Alice->Colin")
+        assert vertex.label == "friend"
+        assert vertex.start == "Alice" and vertex.end == "Colin"
+        assert vertex.direction == FORWARD
+        assert vertex.describe() == "friend Alice-Colin"
+
+    def test_adjacency_follows_shared_endpoint(self, line_graph):
+        # friend Alice->Colin meets friend Colin->David and parent Colin->Fred.
+        successors = line_graph.successors("friend:Alice->Colin")
+        assert successors == {"friend:Colin->David", "parent:Colin->Fred"}
+
+    def test_adjacency_is_directed(self, line_graph):
+        assert not line_graph.are_adjacent("friend:Colin->David", "friend:Alice->Colin")
+        assert line_graph.are_adjacent("friend:Alice->Colin", "friend:Colin->David")
+
+    def test_two_cycle_produces_mutual_adjacency(self, line_graph):
+        # Bill <-> Elena friendship: the two line vertices form a 2-cycle.
+        assert line_graph.are_adjacent("friend:Bill->Elena", "friend:Elena->Bill")
+        assert line_graph.are_adjacent("friend:Elena->Bill", "friend:Bill->Elena")
+
+    def test_indexes_by_start_end_and_key(self, line_graph):
+        starting = {vertex.vertex_id for vertex in line_graph.starting_at("Alice")}
+        assert starting == {"friend:Alice->Colin", "friend:Alice->Bill", "colleague:Alice->David"}
+        ending = {vertex.vertex_id for vertex in line_graph.ending_at("George")}
+        assert ending == {"parent:David->George", "friend:Elena->George", "friend:Fred->George"}
+        colleagues = {vertex.vertex_id for vertex in line_graph.with_key("colleague")}
+        assert colleagues == {"colleague:Alice->David", "colleague:David->Fred"}
+
+    def test_keys_enumerates_label_direction_pairs(self, line_graph):
+        assert line_graph.keys() == [("colleague", "+"), ("friend", "+"), ("parent", "+")]
+
+    def test_vertex_ids_sorted_and_len(self, line_graph):
+        ids = line_graph.vertex_ids()
+        assert ids == sorted(ids)
+        assert len(line_graph) == 12
+
+    def test_starting_at_with_key_filter(self, line_graph):
+        vertices = line_graph.starting_at("Alice", key=("friend", "+"))
+        assert {vertex.end for vertex in vertices} == {"Colin", "Bill"}
+
+
+class TestOrientedLineGraph:
+    """The extended construction used by the index pipeline (both traversal directions)."""
+
+    @pytest.fixture
+    def line_graph(self, figure1):
+        return LineGraph(figure1, include_reverse=True)
+
+    def test_two_vertices_per_relationship(self, line_graph, figure1):
+        assert line_graph.number_of_vertices() == 2 * figure1.number_of_relationships()
+
+    def test_reverse_vertex_swaps_endpoints(self, line_graph):
+        vertex = line_graph.vertex("friend~:Alice->Colin")
+        assert vertex.direction == REVERSE
+        assert vertex.start == "Colin" and vertex.end == "Alice"
+        assert "reverse" in vertex.describe()
+
+    def test_reverse_vertices_indexed_by_key(self, line_graph):
+        assert len(line_graph.with_key("friend", REVERSE)) == 8
+
+    def test_adjacency_mixes_directions(self, line_graph):
+        # Traverse Alice->Colin forward, then Colin<-? backwards: friend~:Alice->Colin
+        # starts at Colin... the forward vertex ends at Colin, so any vertex starting
+        # at Colin (including reverse ones) is adjacent.
+        successors = line_graph.successors("friend:Alice->Colin")
+        assert "friend~:Alice->Colin" in successors  # go back to Alice
+        assert "parent:Colin->Fred" in successors
+
+    def test_adjacency_mapping_is_a_copy(self, line_graph):
+        adjacency = line_graph.adjacency()
+        adjacency["friend:Alice->Colin"].clear()
+        assert line_graph.successors("friend:Alice->Colin")
+
+
+class TestEdgeCases:
+    def test_empty_graph(self, empty_graph):
+        line_graph = LineGraph(empty_graph)
+        assert line_graph.number_of_vertices() == 0
+        assert line_graph.number_of_edges() == 0
+
+    def test_single_edge_graph(self):
+        graph = GraphBuilder().relate("a", "b", "friend").build()
+        line_graph = LineGraph(graph, include_reverse=False)
+        assert line_graph.number_of_vertices() == 1
+        assert line_graph.number_of_edges() == 0
+
+    def test_has_vertex(self, figure1):
+        line_graph = LineGraph(figure1, include_reverse=False)
+        assert line_graph.has_vertex("friend:Alice->Colin")
+        assert not line_graph.has_vertex("friend:Colin->Alice")
+
+    def test_repr(self, figure1):
+        assert "forward-only" in repr(LineGraph(figure1, include_reverse=False))
+        assert "oriented" in repr(LineGraph(figure1, include_reverse=True))

@@ -1,0 +1,116 @@
+"""Unit tests for Tarjan SCC computation and DAG condensation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.reachability.scc import condense, strongly_connected_components
+
+
+class TestStronglyConnectedComponents:
+    def test_dag_has_singleton_components(self):
+        adjacency = {"a": ["b"], "b": ["c"], "c": []}
+        components = strongly_connected_components(adjacency)
+        assert sorted(len(component) for component in components) == [1, 1, 1]
+
+    def test_simple_cycle(self):
+        adjacency = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        components = strongly_connected_components(adjacency)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b", "c"}
+
+    def test_two_cycles_linked(self):
+        adjacency = {
+            "a": ["b"], "b": ["a", "c"],
+            "c": ["d"], "d": ["c"],
+        }
+        components = strongly_connected_components(adjacency)
+        component_sets = {frozenset(component) for component in components}
+        assert component_sets == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_nodes_only_mentioned_as_successors_are_included(self):
+        adjacency = {"a": ["b"]}
+        components = strongly_connected_components(adjacency)
+        assert {node for component in components for node in component} == {"a", "b"}
+
+    def test_empty_graph(self):
+        assert strongly_connected_components({}) == []
+
+    def test_self_loop(self):
+        adjacency = {"a": ["a"], "b": []}
+        components = strongly_connected_components(adjacency)
+        assert sorted(len(component) for component in components) == [1, 1]
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        n = 5000
+        adjacency = {index: [index + 1] for index in range(n)}
+        adjacency[n] = []
+        components = strongly_connected_components(adjacency)
+        assert len(components) == n + 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx_on_random_digraphs(self, seed):
+        graph = nx.gnp_random_graph(40, 0.08, seed=seed, directed=True)
+        adjacency = {node: list(graph.successors(node)) for node in graph.nodes}
+        ours = {frozenset(component) for component in strongly_connected_components(adjacency)}
+        reference = {frozenset(component) for component in nx.strongly_connected_components(graph)}
+        assert ours == reference
+
+
+class TestCondensation:
+    def test_condensation_of_cycle_plus_tail(self):
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": []}
+        condensation = condense(adjacency)
+        assert condensation.number_of_components() == 2
+        assert condensation.same_component("a", "b")
+        assert not condensation.same_component("a", "c")
+
+    def test_dag_edges_have_no_self_loops(self):
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": ["d"], "d": []}
+        condensation = condense(adjacency)
+        for component, successors in condensation.dag.items():
+            assert component not in successors
+
+    def test_dag_is_acyclic(self):
+        adjacency = {
+            "a": ["b"], "b": ["a", "c"], "c": ["d"], "d": ["c", "e"], "e": [],
+        }
+        condensation = condense(adjacency)
+        dag = nx.DiGraph()
+        dag.add_nodes_from(condensation.dag)
+        for component, successors in condensation.dag.items():
+            dag.add_edges_from((component, successor) for successor in successors)
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_representatives_are_members_and_deterministic(self):
+        adjacency = {"b": ["a"], "a": ["b"]}
+        condensation = condense(adjacency)
+        assert condensation.representative[0] == "a"  # smallest by string order
+        assert condensation.representative[0] in condensation.components[0]
+
+    def test_component_sizes_and_is_trivial(self):
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": []}
+        condensation = condense(adjacency)
+        assert condensation.component_sizes() == [2, 1]
+        assert not condensation.is_trivial()
+        assert condense({"x": ["y"], "y": []}).is_trivial()
+
+    def test_reachability_preserved_by_condensation(self):
+        """The paper's claim: the transformation loses no reachability information."""
+        graph = nx.gnp_random_graph(30, 0.1, seed=9, directed=True)
+        adjacency = {node: list(graph.successors(node)) for node in graph.nodes}
+        condensation = condense(adjacency)
+        dag = nx.DiGraph()
+        dag.add_nodes_from(condensation.dag)
+        for component, successors in condensation.dag.items():
+            dag.add_edges_from((component, successor) for successor in successors)
+        for source in graph.nodes:
+            for target in graph.nodes:
+                original = nx.has_path(graph, source, target)
+                source_component = condensation.component_of(source)
+                target_component = condensation.component_of(target)
+                condensed = source_component == target_component or nx.has_path(
+                    dag, source_component, target_component
+                )
+                assert original == condensed, (source, target)

@@ -1,0 +1,142 @@
+"""Unit tests for the transitive-closure index and evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexNotBuiltError, NodeNotFoundError
+from repro.graph.builder import GraphBuilder
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.transitive_closure import (
+    TransitiveClosureEvaluator,
+    TransitiveClosureIndex,
+)
+from repro.workloads.queries import random_query_mix
+
+
+def expr(text):
+    return PathExpression.parse(text)
+
+
+class TestTransitiveClosureIndex:
+    @pytest.fixture
+    def index(self, figure1):
+        return TransitiveClosureIndex(figure1).build()
+
+    def test_requires_build(self, figure1):
+        with pytest.raises(IndexNotBuiltError):
+            TransitiveClosureIndex(figure1).reachable("Alice", "Fred")
+
+    def test_plain_reachability(self, index):
+        assert index.reachable("Alice", "George")
+        assert index.reachable("Alice", "Fred")
+        assert not index.reachable("George", "Alice")
+
+    def test_self_reachability(self, index):
+        assert index.reachable("Alice", "Alice")
+
+    def test_per_label_closure(self, index):
+        assert index.reachable_with_label("Alice", "David", "friend")
+        assert not index.reachable_with_label("Alice", "Fred", "friend")
+        assert index.reachable_with_label("Alice", "Fred", "colleague")
+
+    def test_unknown_label_closure_is_empty(self, index):
+        assert not index.reachable_with_label("Alice", "Fred", "follows")
+        assert index.reachable_with_label("Alice", "Alice", "follows")  # trivially
+
+    def test_undirected_closure(self, index):
+        assert index.reachable_undirected("George", "Alice")
+
+    def test_descendants(self, index):
+        assert index.descendants("Alice") == {"Bill", "Colin", "David", "Elena", "Fred", "George"}
+        assert index.descendants("Alice", "colleague") == {"David", "Fred"}
+
+    def test_unknown_user_raises(self, index):
+        with pytest.raises(NodeNotFoundError):
+            index.reachable("Ghost", "Alice")
+
+    def test_size_and_statistics(self, index, figure1):
+        stats = index.statistics()
+        assert stats["index_entries"] == index.size() > 0
+        assert stats["labels"] == len(figure1.labels())
+        assert stats["build_seconds"] >= 0
+
+    def test_closure_matches_bfs_on_random_graph(self, small_random_graph):
+        index = TransitiveClosureIndex(small_random_graph).build()
+        bfs = OnlineBFSEvaluator(small_random_graph)
+        users = sorted(small_random_graph.users())[:15]
+        labels = small_random_graph.labels()
+        big = max(2, small_random_graph.number_of_users() - 1)
+        for source in users:
+            for target in users:
+                if source == target:
+                    continue
+                # Unconstrained reachability == a wide any-label query is awkward to
+                # write; compare per-label closures against a single-label query.
+                for label in labels:
+                    expression = PathExpression.parse(f"{label}+[1,{big}]")
+                    assert index.reachable_with_label(source, target, label) == bfs.evaluate(
+                        source, target, expression, collect_witness=False
+                    ).reachable, (source, target, label)
+
+
+class TestTransitiveClosureEvaluator:
+    @pytest.fixture
+    def evaluator(self, figure1):
+        return TransitiveClosureEvaluator(figure1).build()
+
+    def test_requires_build(self, figure1):
+        with pytest.raises(IndexNotBuiltError):
+            TransitiveClosureEvaluator(figure1).evaluate("Alice", "Fred", expr("friend"))
+
+    def test_same_results_as_bfs_on_figure1(self, figure1, evaluator):
+        bfs = OnlineBFSEvaluator(figure1)
+        expressions = [
+            "friend+[1]", "friend+[1,2]/colleague+[1]", "friend-[1]",
+            "friend*[1,2]", "parent+[1]/friend+[1]", "colleague+[1,2]",
+        ]
+        for text in expressions:
+            expression = expr(text)
+            for source in figure1.users():
+                for target in figure1.users():
+                    assert (
+                        evaluator.evaluate(source, target, expression, collect_witness=False).reachable
+                        == bfs.evaluate(source, target, expression, collect_witness=False).reachable
+                    ), (text, source, target)
+
+    def test_pruning_counter_on_unreachable_pair(self, evaluator):
+        # George reaches nobody, so any forward query from George is pruned in O(1).
+        result = evaluator.evaluate("George", "Alice", expr("friend+[1,6]"))
+        assert not result.reachable
+        assert result.counters.get("closure_pruned") == 1
+        assert "states_visited" not in result.counters
+
+    def test_non_pruned_query_delegates_to_search(self, evaluator):
+        result = evaluator.evaluate("Alice", "Fred", expr("friend+[1,2]/colleague+[1]"))
+        assert result.reachable
+        assert result.counters.get("closure_checked") == 1
+        assert result.witness is not None
+
+    def test_find_targets(self, evaluator):
+        assert evaluator.find_targets("Alice", expr("friend+[1]")) == {"Colin", "Bill"}
+
+    def test_find_targets_requires_build(self, figure1):
+        with pytest.raises(IndexNotBuiltError):
+            TransitiveClosureEvaluator(figure1).find_targets("Alice", expr("friend"))
+
+    def test_unknown_user_raises(self, evaluator):
+        with pytest.raises(NodeNotFoundError):
+            evaluator.evaluate("Ghost", "Alice", expr("friend"))
+
+    def test_agreement_with_bfs_on_random_graph(self, small_random_graph):
+        evaluator = TransitiveClosureEvaluator(small_random_graph).build()
+        bfs = OnlineBFSEvaluator(small_random_graph)
+        for source, target, expression in random_query_mix(small_random_graph, 50, seed=11):
+            assert (
+                evaluator.evaluate(source, target, expression, collect_witness=False).reachable
+                == bfs.evaluate(source, target, expression, collect_witness=False).reachable
+            ), (source, target, expression.to_text())
+
+    def test_statistics_delegate_to_index(self, evaluator):
+        assert evaluator.statistics()["index_entries"] > 0

@@ -1,0 +1,135 @@
+"""Unit tests for the 2-hop cover / labeling (Definitions 5 and 6)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.reachability.linegraph import LineGraph
+from repro.reachability.twohop import TwoHopCover, TwoHopIndex
+
+
+def _random_dag(n, p, seed):
+    graph = nx.gnp_random_graph(n, p, seed=seed, directed=True)
+    dag = nx.DiGraph((u, v) for u, v in graph.edges if u < v)
+    dag.add_nodes_from(graph.nodes)
+    return {node: list(dag.successors(node)) for node in dag.nodes}
+
+
+def _random_digraph(n, p, seed):
+    graph = nx.gnp_random_graph(n, p, seed=seed, directed=True)
+    return {node: list(graph.successors(node)) for node in graph.nodes}
+
+
+class TestTwoHopCover:
+    def test_chain(self):
+        cover = TwoHopCover({"a": ["b"], "b": ["c"], "c": []})
+        assert cover.reachable("a", "b")
+        assert cover.reachable("a", "c")
+        assert cover.reachable("b", "c")
+        assert not cover.reachable("c", "a")
+        assert not cover.reachable("b", "a")
+
+    def test_self_reachability(self):
+        cover = TwoHopCover({"a": ["b"], "b": []})
+        assert cover.reachable("a", "a") and cover.reachable("b", "b")
+
+    def test_disconnected_nodes(self):
+        cover = TwoHopCover({"a": [], "b": []})
+        assert not cover.reachable("a", "b")
+
+    def test_labeling_contract_no_false_positives(self):
+        """Every center in Lout(u) is reachable from u; every center in Lin(v) reaches v."""
+        adjacency = _random_dag(30, 0.1, seed=3)
+        cover = TwoHopCover(adjacency)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(adjacency)
+        for node, successors in adjacency.items():
+            graph.add_edges_from((node, successor) for successor in successors)
+        for node in adjacency:
+            for center in cover.lout[node]:
+                assert nx.has_path(graph, node, center)
+            for center in cover.lin[node]:
+                assert nx.has_path(graph, center, node)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_matches_networkx_reachability_on_random_dags(self, seed):
+        adjacency = _random_dag(28, 0.12, seed=seed)
+        cover = TwoHopCover(adjacency)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(adjacency)
+        for node, successors in adjacency.items():
+            graph.add_edges_from((node, successor) for successor in successors)
+        for source in adjacency:
+            for target in adjacency:
+                assert cover.reachable(source, target) == nx.has_path(graph, source, target), (
+                    source, target,
+                )
+
+    def test_labeling_size_and_centers(self):
+        adjacency = _random_dag(25, 0.15, seed=7)
+        cover = TwoHopCover(adjacency)
+        assert cover.labeling_size() == sum(
+            len(cover.lin[node]) + len(cover.lout[node]) for node in adjacency
+        )
+        assert cover.number_of_centers() == len(cover.centers) > 0
+        assert cover.build_seconds >= 0
+
+    def test_labeling_is_smaller_than_transitive_closure_on_chains(self):
+        n = 60
+        adjacency = {index: [index + 1] for index in range(n)}
+        adjacency[n] = []
+        cover = TwoHopCover(adjacency)
+        closure_size = (n + 1) * n // 2
+        assert cover.labeling_size() < closure_size
+
+    def test_label_accessor(self):
+        cover = TwoHopCover({"a": ["b"], "b": []})
+        label = cover.label("a")
+        assert label.size() == len(label.lin) + len(label.lout)
+
+
+class TestTwoHopIndex:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_networkx_on_cyclic_digraphs(self, seed):
+        adjacency = _random_digraph(25, 0.1, seed=seed)
+        index = TwoHopIndex(adjacency)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(adjacency)
+        for node, successors in adjacency.items():
+            graph.add_edges_from((node, successor) for successor in successors)
+        for source in adjacency:
+            for target in adjacency:
+                assert index.reachable(source, target) == nx.has_path(graph, source, target), (
+                    source, target,
+                )
+
+    def test_label_contract_at_vertex_level(self):
+        """u ⇝ v (u != v)  iff  Lout(u) ∩ Lin(v) ≠ ∅ — including inside SCCs."""
+        adjacency = _random_digraph(20, 0.15, seed=9)
+        index = TwoHopIndex(adjacency)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(adjacency)
+        for node, successors in adjacency.items():
+            graph.add_edges_from((node, successor) for successor in successors)
+        for source in adjacency:
+            for target in adjacency:
+                if source == target:
+                    continue
+                expected = nx.has_path(graph, source, target)
+                intersects = not index.label(source).lout.isdisjoint(index.label(target).lin)
+                assert intersects == expected, (source, target)
+
+    def test_centers_are_original_vertices(self, figure1):
+        line_graph = LineGraph(figure1, include_reverse=False)
+        index = TwoHopIndex(line_graph.adjacency())
+        vertex_ids = set(line_graph.vertex_ids())
+        assert set(index.centers()) <= vertex_ids
+
+    def test_statistics(self, figure1):
+        line_graph = LineGraph(figure1, include_reverse=True)
+        index = TwoHopIndex(line_graph.adjacency())
+        stats = index.statistics()
+        assert stats["index_entries"] == index.labeling_size() > 0
+        assert stats["components"] >= 1
+        assert stats["build_seconds"] >= 0

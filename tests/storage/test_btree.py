@@ -1,0 +1,157 @@
+"""Unit tests for the B+-tree backing the cluster join index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        tree.insert("c", 3)
+        assert tree.get("a") == 1
+        assert tree.get("b") == 2
+        assert tree["c"] == 3
+        assert len(tree) == 3
+
+    def test_missing_key(self):
+        tree = BPlusTree(order=4)
+        assert tree.get("missing") is None
+        assert tree.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            tree["missing"]
+
+    def test_contains_and_bool(self):
+        tree = BPlusTree(order=4)
+        assert not tree
+        tree["x"] = 1
+        assert "x" in tree and "y" not in tree
+        assert tree
+
+    def test_update_existing_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree["k"] == 2
+        assert len(tree) == 1
+
+    def test_setitem_alias(self):
+        tree = BPlusTree(order=4)
+        tree["k"] = "v"
+        assert tree["k"] == "v"
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("order", [3, 4, 8, 32])
+    def test_many_inserts_all_retrievable(self, order):
+        tree = BPlusTree(order=order)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert len(tree) == 500
+        for key in range(500):
+            assert tree[key] == key * 10
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(200))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, -key)
+        assert [key for key, _ in tree.items()] == sorted(range(200))
+        assert list(tree.keys()) == sorted(range(200))
+        assert list(tree.values()) == [-key for key in sorted(range(200))]
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for key in range(1000):
+            tree.insert(key, key)
+        assert tree.height <= 8
+        internal, leaves = tree.node_count()
+        assert internal >= 1 and leaves >= 250
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys only
+            tree.insert(key, str(key))
+        return tree
+
+    def test_closed_range(self, tree):
+        assert [key for key, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_range_bounds_not_present(self, tree):
+        assert [key for key, _ in tree.range(9, 15)] == [10, 12, 14]
+
+    def test_open_low(self, tree):
+        assert [key for key, _ in tree.range(None, 6)] == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        assert [key for key, _ in tree.range(94)] == [94, 96, 98]
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range())) == 50
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(51, 51)) == []
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.delete(25)
+        assert 25 not in tree
+        assert len(tree) == 49
+        # Remaining keys still retrievable and ordered.
+        assert list(tree.keys()) == [key for key in range(50) if key != 25]
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, 1)
+        assert not tree.delete(2)
+        assert len(tree) == 1
+
+    def test_delete_then_reinsert(self):
+        tree = BPlusTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        tree.delete(10)
+        tree.insert(10, "back")
+        assert tree[10] == "back"
+
+
+class TestAgainstDictModel:
+    def test_random_operations_match_dict(self):
+        rng = random.Random(99)
+        tree = BPlusTree(order=5)
+        model = {}
+        for _ in range(2000):
+            key = rng.randint(0, 300)
+            action = rng.random()
+            if action < 0.6:
+                value = rng.randint(0, 10**6)
+                tree.insert(key, value)
+                model[key] = value
+            elif action < 0.8:
+                assert tree.get(key) == model.get(key)
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+        assert list(tree.keys()) == sorted(model)

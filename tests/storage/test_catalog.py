@@ -1,0 +1,75 @@
+"""Unit tests for the table catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError, TableNotFoundError
+from repro.storage.catalog import Catalog
+from repro.storage.table import Column, Schema, Table
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("node", str), Column("value", int, nullable=True)])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, schema):
+        catalog = Catalog("test")
+        table = catalog.create_table("T_friend", schema, key="node")
+        assert catalog.table("T_friend") is table
+        assert catalog.has_table("T_friend")
+        assert "T_friend" in catalog
+
+    def test_duplicate_creation_rejected(self, schema):
+        catalog = Catalog()
+        catalog.create_table("T", schema)
+        with pytest.raises(StorageError):
+            catalog.create_table("T", schema)
+
+    def test_register_existing_table(self, schema):
+        catalog = Catalog()
+        table = Table("external", schema)
+        catalog.register(table)
+        assert catalog.table("external") is table
+        with pytest.raises(StorageError):
+            catalog.register(table)
+
+    def test_missing_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(TableNotFoundError):
+            catalog.table("nope")
+
+    def test_drop_table(self, schema):
+        catalog = Catalog()
+        catalog.create_table("T", schema)
+        catalog.drop_table("T")
+        assert not catalog.has_table("T")
+        with pytest.raises(TableNotFoundError):
+            catalog.drop_table("T")
+
+    def test_table_names_sorted(self, schema):
+        catalog = Catalog()
+        for name in ("T_parent", "T_colleague", "T_friend"):
+            catalog.create_table(name, schema)
+        assert catalog.table_names() == ["T_colleague", "T_friend", "T_parent"]
+        assert len(catalog) == 3
+
+    def test_total_rows_and_statistics(self, schema):
+        catalog = Catalog()
+        first = catalog.create_table("A", schema, key="node")
+        second = catalog.create_table("B", schema, key="node")
+        first.insert(node="x", value=1)
+        first.insert(node="y", value=2)
+        second.insert(node="z", value=None)
+        assert catalog.total_rows() == 3
+        stats = catalog.statistics()
+        assert stats["A"] == (2, ("node", "value"))
+        assert stats["B"] == (1, ("node", "value"))
+
+    def test_iteration(self, schema):
+        catalog = Catalog()
+        catalog.create_table("A", schema)
+        catalog.create_table("B", schema)
+        assert {table.name for table in catalog} == {"A", "B"}

@@ -1,0 +1,108 @@
+"""Unit tests for the join operators, including the reachability join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.joins import (
+    hash_join,
+    nested_loop_join,
+    reachability_join,
+    reachability_join_rows,
+)
+from repro.storage.table import Column, Schema, Table
+
+
+@pytest.fixture
+def employees():
+    return [
+        {"name": "alice", "dept": 1},
+        {"name": "bob", "dept": 2},
+        {"name": "carol", "dept": 1},
+    ]
+
+
+@pytest.fixture
+def departments():
+    return [
+        {"dept": 1, "label": "research"},
+        {"dept": 2, "label": "sales"},
+        {"dept": 3, "label": "legal"},
+    ]
+
+
+class TestEqualityJoins:
+    def test_hash_join_basic(self, employees, departments):
+        joined = hash_join(employees, departments, "dept", "dept")
+        assert len(joined) == 3
+        labels = {(row["name"], row["label"]) for row in joined}
+        assert labels == {("alice", "research"), ("carol", "research"), ("bob", "sales")}
+
+    def test_hash_join_prefixes_colliding_columns(self, employees, departments):
+        joined = hash_join(employees, departments, "dept", "dept")
+        assert all("right_dept" in row for row in joined)
+
+    def test_hash_join_no_matches(self, employees):
+        assert hash_join(employees, [{"dept": 9, "label": "x"}], "dept", "dept") == []
+
+    def test_nested_loop_matches_hash_join(self, employees, departments):
+        by_hash = hash_join(employees, departments, "dept", "dept")
+        by_loop = nested_loop_join(
+            employees, departments, lambda left, right: left["dept"] == right["dept"]
+        )
+        key = lambda row: (row["name"], row["label"])  # noqa: E731
+        assert sorted(map(key, by_hash)) == sorted(map(key, by_loop))
+
+    def test_nested_loop_theta_join(self, employees, departments):
+        joined = nested_loop_join(
+            employees, departments, lambda left, right: left["dept"] < right["dept"]
+        )
+        assert {(row["name"], row["label"]) for row in joined} == {
+            ("alice", "sales"),
+            ("alice", "legal"),
+            ("carol", "sales"),
+            ("carol", "legal"),
+            ("bob", "legal"),
+        }
+
+
+class TestReachabilityJoin:
+    def _rows(self, entries):
+        return [
+            {"node": node, "lin": frozenset(lin), "lout": frozenset(lout)}
+            for node, lin, lout in entries
+        ]
+
+    def test_pairs_require_center_intersection(self):
+        left = self._rows([("x1", [], ["w1"]), ("x2", [], ["w2"])])
+        right = self._rows([("y1", ["w1"], []), ("y2", ["w3"], [])])
+        assert reachability_join_rows(left, right) == [("x1", "y1")]
+
+    def test_multiple_shared_centers_deduplicated(self):
+        left = self._rows([("x", [], ["w1", "w2"])])
+        right = self._rows([("y", ["w1", "w2"], [])])
+        assert reachability_join_rows(left, right) == [("x", "y")]
+
+    def test_empty_labels_join_to_nothing(self):
+        left = self._rows([("x", [], [])])
+        right = self._rows([("y", [], [])])
+        assert reachability_join_rows(left, right) == []
+
+    def test_result_is_sorted(self):
+        left = self._rows([("b", [], ["w"]), ("a", [], ["w"])])
+        right = self._rows([("z", ["w"], []), ("y", ["w"], [])])
+        assert reachability_join_rows(left, right) == [
+            ("a", "y"),
+            ("a", "z"),
+            ("b", "y"),
+            ("b", "z"),
+        ]
+
+    def test_join_over_tables(self):
+        schema = Schema([Column("node", str), Column("lin", frozenset), Column("lout", frozenset)])
+        left = Table("T_friend", schema, key="node")
+        right = Table("T_colleague", schema, key="node")
+        left.insert(node="friend:a->b", lin=frozenset(), lout=frozenset({"c1"}))
+        right.insert(node="colleague:b->c", lin=frozenset({"c1"}), lout=frozenset())
+        right.insert(node="colleague:x->y", lin=frozenset({"other"}), lout=frozenset())
+        assert reachability_join(left, right) == [("friend:a->b", "colleague:b->c")]

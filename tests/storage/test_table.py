@@ -1,0 +1,144 @@
+"""Unit tests for the relational Table substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DuplicateKeyError, SchemaError
+from repro.storage.table import Column, Row, Schema, Table
+
+
+@pytest.fixture
+def people():
+    schema = Schema([Column("name", str), Column("age", int), Column("city", str, nullable=True)])
+    table = Table("people", schema, key="name")
+    table.insert(name="alice", age=24, city="paris")
+    table.insert(name="bob", age=31, city=None)
+    table.insert(name="carol", age=24, city="berlin")
+    return table
+
+
+class TestSchema:
+    def test_column_names_in_order(self):
+        schema = Schema([Column("a"), Column("b")])
+        assert schema.column_names == ("a", "b")
+        assert len(schema) == 2
+        assert "a" in schema and "z" not in schema
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("x"), Column("x")])
+
+    def test_unknown_column_lookup_raises(self):
+        schema = Schema([Column("a")])
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_validate_row_rejects_unknown_columns(self):
+        schema = Schema([Column("a")])
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "zzz": 2})
+
+    def test_type_enforcement(self):
+        schema = Schema([Column("n", int)])
+        with pytest.raises(SchemaError):
+            schema.validate_row({"n": "not an int"})
+
+    def test_nullability(self):
+        schema = Schema([Column("n", int, nullable=True), Column("m", int)])
+        assert schema.validate_row({"n": None, "m": 3}) == {"n": None, "m": 3}
+        with pytest.raises(SchemaError):
+            schema.validate_row({"m": None})
+
+    def test_untyped_column_accepts_anything(self):
+        schema = Schema([Column("x")])
+        assert schema.validate_row({"x": object()})["x"] is not None
+
+
+class TestRow:
+    def test_mapping_interface(self):
+        row = Row({"a": 1, "b": 2})
+        assert row["a"] == 1
+        assert dict(row) == {"a": 1, "b": 2}
+        assert len(row) == 2
+
+    def test_equality_with_dict_and_row(self):
+        assert Row({"a": 1}) == Row({"a": 1})
+        assert Row({"a": 1}) == {"a": 1}
+        assert Row({"a": 1}) != Row({"a": 2})
+
+    def test_hashable_even_with_collection_values(self):
+        row = Row({"a": frozenset({"x"}), "b": (1, 2)})
+        assert isinstance(hash(row), int)
+
+
+class TestTable:
+    def test_insert_and_len(self, people):
+        assert len(people) == 3
+
+    def test_primary_key_lookup(self, people):
+        assert people.get("bob")["age"] == 31
+        assert people.get("nobody") is None
+
+    def test_duplicate_key_rejected(self, people):
+        with pytest.raises(DuplicateKeyError):
+            people.insert(name="alice", age=99)
+
+    def test_key_lookup_without_key_column_raises(self):
+        table = Table("t", Schema([Column("x", int)]))
+        table.insert(x=1)
+        with pytest.raises(SchemaError):
+            table.get(1)
+
+    def test_key_column_must_be_in_schema(self):
+        with pytest.raises(SchemaError):
+            Table("t", Schema([Column("x")]), key="nope")
+
+    def test_select_equality(self, people):
+        rows = people.select(age=24)
+        assert {row["name"] for row in rows} == {"alice", "carol"}
+
+    def test_select_with_predicate(self, people):
+        rows = people.select(lambda row: row["age"] > 25)
+        assert [row["name"] for row in rows] == ["bob"]
+
+    def test_select_combined(self, people):
+        rows = people.select(lambda row: row["city"] == "paris", age=24)
+        assert [row["name"] for row in rows] == ["alice"]
+
+    def test_select_uses_secondary_index(self, people):
+        people.create_index("age")
+        rows = people.select(age=24)
+        assert {row["name"] for row in rows} == {"alice", "carol"}
+
+    def test_secondary_index_updates_on_insert(self, people):
+        people.create_index("age")
+        people.insert(name="dave", age=24)
+        assert {row["name"] for row in people.select(age=24)} == {"alice", "carol", "dave"}
+
+    def test_project(self, people):
+        assert set(people.project("name", "age")) == {("alice", 24), ("bob", 31), ("carol", 24)}
+
+    def test_project_unknown_column_raises(self, people):
+        with pytest.raises(SchemaError):
+            people.project("salary")
+
+    def test_distinct(self, people):
+        assert sorted(people.distinct("age")) == [24, 31]
+
+    def test_insert_many(self):
+        table = Table("t", Schema([Column("x", int)]))
+        assert table.insert_many([{"x": 1}, {"x": 2}, {"x": 3}]) == 3
+        assert len(table) == 3
+
+    def test_iteration_yields_rows_in_insert_order(self, people):
+        assert [row["name"] for row in people] == ["alice", "bob", "carol"]
+
+    def test_rows_returns_copy_of_list(self, people):
+        rows = people.rows()
+        rows.clear()
+        assert len(people) == 3

@@ -1,0 +1,78 @@
+"""Unit tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import (
+    GRAPH_FAMILIES,
+    WorkloadSpec,
+    build_graph,
+    build_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.family in GRAPH_FAMILIES
+        assert spec.users > 0
+        assert spec.describe().startswith(spec.family)
+
+    def test_describe_mentions_size_and_seed(self):
+        spec = WorkloadSpec(family="erdos-renyi", users=123, seed=9)
+        assert spec.describe() == "erdos-renyi-n123-s9"
+
+
+class TestBuildGraph:
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    def test_every_family_builds(self, family):
+        spec = WorkloadSpec(family=family, users=50, seed=3)
+        graph = build_graph(spec)
+        assert graph.number_of_users() == 50
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            build_graph(WorkloadSpec(family="ring-of-fire"))
+
+    def test_family_options_forwarded(self):
+        spec = WorkloadSpec(
+            family="erdos-renyi", users=30, seed=1, family_options=(("edge_probability", 0.0),)
+        )
+        assert build_graph(spec).number_of_relationships() == 0
+
+
+class TestBuildWorkload:
+    def test_workload_shape(self):
+        spec = WorkloadSpec(users=80, owners=5, rules_per_owner=2, requests=40, seed=11)
+        workload = build_workload(spec)
+        assert workload.graph.number_of_users() == 80
+        assert len(workload.resources) == 10
+        assert len(workload.requests) == 40
+        assert len(workload.owners()) == 5
+
+    def test_requests_reference_existing_resources_and_users(self):
+        workload = build_workload(WorkloadSpec(users=60, requests=30, seed=2))
+        resource_ids = {resource_id for resource_id, _owner, _exprs in workload.resources}
+        for requester, resource_id in workload.requests:
+            assert workload.graph.has_user(requester)
+            assert resource_id in resource_ids
+
+    def test_resource_expressions_parse(self):
+        from repro.policy import PathExpression
+
+        workload = build_workload(WorkloadSpec(users=40, seed=4))
+        for _resource_id, _owner, expressions in workload.resources:
+            for text in expressions:
+                PathExpression.parse(text)
+
+    def test_deterministic_for_seed(self):
+        first = build_workload(WorkloadSpec(users=50, seed=7))
+        second = build_workload(WorkloadSpec(users=50, seed=7))
+        assert first.resources == second.resources
+        assert first.requests == second.requests
+        assert first.graph == second.graph
+
+    def test_owner_count_capped_by_population(self):
+        workload = build_workload(WorkloadSpec(users=3, owners=10, seed=1))
+        assert len(workload.owners()) == 3

@@ -1,0 +1,91 @@
+"""Unit tests for random query generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.policy.steps import Direction
+from repro.workloads.queries import (
+    expression_of_shape,
+    random_expression,
+    random_query_mix,
+    random_step,
+)
+
+LABELS = ("friend", "colleague", "parent")
+
+
+class TestRandomStep:
+    def test_uses_given_labels(self, rng):
+        for _ in range(50):
+            step = random_step(rng, LABELS)
+            assert step.label in LABELS
+            assert 1 <= step.min_depth() <= step.max_depth() <= 3
+
+    def test_condition_probability_zero_means_no_conditions(self, rng):
+        assert all(not random_step(rng, LABELS, condition_probability=0.0).conditions for _ in range(30))
+
+    def test_condition_probability_one_means_always_conditions(self, rng):
+        assert all(random_step(rng, LABELS, condition_probability=1.0).conditions for _ in range(30))
+
+    def test_direction_weights_respected(self, rng):
+        directions = {
+            random_step(rng, LABELS, directions=((Direction.INCOMING, 1.0),)).direction
+            for _ in range(20)
+        }
+        assert directions == {Direction.INCOMING}
+
+
+class TestRandomExpression:
+    def test_step_count_bounds(self, rng):
+        for _ in range(50):
+            expression = random_expression(rng, LABELS, max_steps=4)
+            assert 1 <= len(expression) <= 4
+
+    def test_deterministic_given_same_rng_state(self):
+        first = random_expression(random.Random(5), LABELS)
+        second = random_expression(random.Random(5), LABELS)
+        assert first == second
+
+    def test_round_trips_through_parser(self, rng):
+        from repro.policy import PathExpression
+
+        for _ in range(30):
+            expression = random_expression(rng, LABELS)
+            assert PathExpression.parse(expression.to_text()) == expression
+
+
+class TestExpressionOfShape:
+    def test_shape_parameters(self):
+        expression = expression_of_shape(LABELS, steps=4, depth_width=3)
+        assert len(expression) == 4
+        assert all(step.depths.minimum == 1 and step.depths.maximum == 3 for step in expression)
+        assert expression.labels() == ("friend", "colleague", "parent", "friend")
+
+    def test_depth_width_clamped_to_one(self):
+        expression = expression_of_shape(LABELS, steps=1, depth_width=0)
+        assert expression[0].depths.maximum == 1
+
+    def test_direction_applied(self):
+        expression = expression_of_shape(LABELS, steps=2, depth_width=1, direction=Direction.ANY)
+        assert all(step.direction is Direction.ANY for step in expression)
+
+
+class TestRandomQueryMix:
+    def test_mix_over_figure1(self, figure1):
+        mix = random_query_mix(figure1, 25, seed=3)
+        assert len(mix) == 25
+        for source, target, expression in mix:
+            assert figure1.has_user(source) and figure1.has_user(target)
+            assert source != target
+            assert len(expression) >= 1
+
+    def test_deterministic(self, figure1):
+        assert [
+            (s, t, e.to_text()) for s, t, e in random_query_mix(figure1, 10, seed=8)
+        ] == [(s, t, e.to_text()) for s, t, e in random_query_mix(figure1, 10, seed=8)]
+
+    def test_too_small_graph_returns_empty(self, empty_graph):
+        assert random_query_mix(empty_graph, 5) == []

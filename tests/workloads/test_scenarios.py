@@ -1,0 +1,63 @@
+"""Unit tests for the named access-control scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy import PathExpression
+from repro.workloads.scenarios import SCENARIOS, scenario, scenario_names
+
+
+class TestScenarioCatalogue:
+    def test_at_least_the_paper_scenarios_exist(self):
+        names = scenario_names()
+        assert "q1-colleagues-of-friends" in names
+        assert "friends-of-friends-parents" in names
+        assert "family-and-friends" in names
+        assert "who-call-me-friend" in names
+        assert len(names) >= 8
+
+    def test_lookup_by_name(self):
+        item = scenario("q1-colleagues-of-friends")
+        assert item.expressions == ("friend+[1,2]/colleague+[1]",)
+        assert "Q1" in item.description or "colleagues" in item.description
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            scenario("does-not-exist")
+
+    def test_every_expression_parses(self):
+        for item in SCENARIOS.values():
+            for text in item.expressions:
+                PathExpression.parse(text)
+
+    def test_every_scenario_has_description_and_source(self):
+        for item in SCENARIOS.values():
+            assert item.description
+            assert item.source
+            assert item.describe().startswith(item.name)
+
+    def test_names_are_sorted_and_unique(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+
+class TestScenariosOverThePaperGraph:
+    def test_q1_scenario_reproduces_figure2(self, figure1):
+        from repro.policy import AccessControlEngine, PolicyStore
+
+        store = PolicyStore()
+        store.share("Alice", "res")
+        store.allow("res", list(scenario("q1-colleagues-of-friends").expressions))
+        engine = AccessControlEngine(figure1, store)
+        assert engine.authorized_audience("res") == {"Alice", "Fred"}
+
+    def test_worked_example_scenario(self, figure1):
+        from repro.policy import AccessControlEngine, PolicyStore
+
+        store = PolicyStore()
+        store.share("Alice", "res")
+        store.allow("res", list(scenario("friends-of-friends-parents").expressions))
+        engine = AccessControlEngine(figure1, store)
+        assert engine.authorized_audience("res") == {"Alice", "George"}
