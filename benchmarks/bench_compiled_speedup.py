@@ -1,0 +1,157 @@
+"""PERF-4 — dict-of-dicts traversal versus the compiled CSR snapshot.
+
+Every online backend used to walk ``SocialGraph``'s dict-of-dict-of-dict
+adjacency, hashing arbitrary user ids and allocating ``Relationship`` /
+``Traversal`` objects per edge.  The compiled layer
+(:mod:`repro.graph.compiled`) interns users and labels to dense ints and
+stores per-label CSR adjacency; this experiment quantifies the win on the
+synthetic scalability graphs by running the *same* constrained-BFS workload
+through both modes of :class:`OnlineBFSEvaluator`:
+
+* ``evaluate`` (``is_reachable`` form, no witness collection) over a seeded
+  random query mix, and
+* ``find_targets`` (full audience materialization) from a fixed source set
+  with a multi-hop expression.
+
+The summary is printed, persisted to ``benchmarks/results/`` as both a text
+table and ``BENCH_compiled.json``, and the 5000-user row asserts the >= 3x
+speedup the compiled layer was built to deliver.  Also runnable directly:
+``PYTHONPATH=src python benchmarks/bench_compiled_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.graph.compiled import compile_graph
+from repro.graph.generators import preferential_attachment_graph
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.workloads.queries import random_query_mix
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SIZES = (1000, 5000)
+QUERY_COUNT = 30
+SOURCE_COUNT = 10
+AUDIENCE_EXPRESSION = "friend+[1,3]"
+TARGET_SPEEDUP = 3.0
+
+
+def _scalability_graph(size: int):
+    return preferential_attachment_graph(size, edges_per_node=3, seed=71)
+
+
+def _measure(evaluator, queries, sources, audience_expression) -> dict:
+    """Time the is_reachable mix and the find_targets sweep on one evaluator."""
+    started = time.perf_counter()
+    reachable = 0
+    for source, target, expression in queries:
+        if evaluator.evaluate(source, target, expression, collect_witness=False).reachable:
+            reachable += 1
+    evaluate_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    audience = 0
+    for source in sources:
+        audience += len(evaluator.find_targets(source, audience_expression))
+    find_targets_seconds = time.perf_counter() - started
+    return {
+        "evaluate_seconds": evaluate_seconds,
+        "find_targets_seconds": find_targets_seconds,
+        "total_seconds": evaluate_seconds + find_targets_seconds,
+        "reachable_queries": reachable,
+        "audience_size": audience,
+    }
+
+
+def run_comparison(size: int) -> dict:
+    """Run the dict-vs-CSR workload on one scalability graph; return the row."""
+    graph = _scalability_graph(size)
+    queries = random_query_mix(graph, QUERY_COUNT, seed=7, max_steps=2, max_depth=3,
+                               condition_probability=0.2)
+    sources = sorted(graph.users(), key=str)[:SOURCE_COUNT]
+    audience_expression = PathExpression.parse(AUDIENCE_EXPRESSION)
+
+    compiled_evaluator = OnlineBFSEvaluator(graph)
+    build_started = time.perf_counter()
+    snapshot = compile_graph(graph)
+    snapshot_build_seconds = time.perf_counter() - build_started
+
+    dict_run = _measure(OnlineBFSEvaluator(graph, compiled=False),
+                        queries, sources, audience_expression)
+    compiled_run = _measure(compiled_evaluator, queries, sources, audience_expression)
+    # The two modes must agree on every decision, or the speedup is meaningless.
+    assert dict_run["reachable_queries"] == compiled_run["reachable_queries"]
+    assert dict_run["audience_size"] == compiled_run["audience_size"]
+
+    return {
+        "users": size,
+        "relationships": graph.number_of_relationships(),
+        "queries": len(queries),
+        "audience_sources": len(sources),
+        "audience_expression": AUDIENCE_EXPRESSION,
+        "snapshot_build_seconds": snapshot_build_seconds,
+        "dict": dict_run,
+        "compiled": compiled_run,
+        "evaluate_speedup": dict_run["evaluate_seconds"] / compiled_run["evaluate_seconds"],
+        "find_targets_speedup": (
+            dict_run["find_targets_seconds"] / compiled_run["find_targets_seconds"]
+        ),
+        "total_speedup": dict_run["total_seconds"] / compiled_run["total_seconds"],
+    }
+
+
+def _format_table(rows) -> str:
+    lines = ["PERF-4 — compiled CSR snapshot speedup over dict traversal (BFS backend)"]
+    header = (f"{'users':>7} {'edges':>7} {'dict s':>9} {'csr s':>9} "
+              f"{'eval x':>7} {'targets x':>10} {'total x':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['users']:>7} {row['relationships']:>7} "
+            f"{row['dict']['total_seconds']:>9.4f} {row['compiled']['total_seconds']:>9.4f} "
+            f"{row['evaluate_speedup']:>7.1f} {row['find_targets_speedup']:>10.1f} "
+            f"{row['total_speedup']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def run_benchmark() -> dict:
+    """Run every size, persist the JSON + text artifacts, return the summary."""
+    rows = [run_comparison(size) for size in SIZES]
+    summary = {
+        "experiment": "PERF-4 compiled CSR snapshot speedup",
+        "backend": "bfs",
+        "target_speedup": TARGET_SPEEDUP,
+        "rows": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_compiled.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    table = _format_table(rows)
+    print()
+    print(table)
+    (RESULTS_DIR / "perf4_compiled_speedup.txt").write_text(table + "\n", encoding="utf-8")
+    return summary
+
+
+def test_compiled_snapshot_speedup():
+    summary = run_benchmark()
+    largest = summary["rows"][-1]
+    assert largest["users"] == max(SIZES)
+    # Acceptance bar: >= 3x on the 5k-user scalability graph.  The margin is
+    # usually 4-8x; a miss here means the compiled path regressed.
+    assert largest["total_speedup"] >= TARGET_SPEEDUP, largest
+
+
+if __name__ == "__main__":
+    import sys
+
+    result = run_benchmark()
+    worst = min(row["total_speedup"] for row in result["rows"])
+    print(f"\nworst total speedup across sizes: {worst:.1f}x (target {TARGET_SPEEDUP}x)")
+    sys.exit(0 if result["rows"][-1]["total_speedup"] >= TARGET_SPEEDUP else 1)

@@ -28,7 +28,9 @@ def _engine(figure1, backend):
     store.share(ALICE, "alice-resource", kind="note")
     store.allow("alice-resource", WORKED_EXAMPLE_EXPRESSION,
                 description="friends of my friends' parents")
-    return AccessControlEngine(figure1, store, backend=backend)
+    # The benchmark replays identical decisions; disable the decision memo so
+    # the rounds keep measuring backend evaluation, not cache lookups.
+    return AccessControlEngine(figure1, store, backend=backend, cache_size=0)
 
 
 @pytest.mark.parametrize("backend", available_backends())

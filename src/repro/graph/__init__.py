@@ -8,9 +8,12 @@ Public entry points:
 * :mod:`~repro.graph.generators` — synthetic OSN topologies for benchmarks.
 * :mod:`~repro.graph.io` — JSON / edge-list serialization.
 * :mod:`~repro.graph.statistics` — workload characterization.
+* :mod:`~repro.graph.compiled` — derived CSR snapshots the reachability
+  engines traverse (rebuilt lazily from the canonical graph by epoch).
 """
 
 from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.paths import Path, Traversal, is_adjacent_chain, path_from_nodes
 from repro.graph.social_graph import Relationship, SocialGraph
 from repro.graph.views import GraphView, label_view, trust_view, user_filter_view
@@ -18,6 +21,8 @@ from repro.graph.views import GraphView, label_view, trust_view, user_filter_vie
 __all__ = [
     "SocialGraph",
     "Relationship",
+    "CompiledGraph",
+    "compile_graph",
     "GraphBuilder",
     "graph_from_edges",
     "Path",

@@ -1,0 +1,227 @@
+"""Compiled CSR snapshots of a :class:`~repro.graph.social_graph.SocialGraph`.
+
+The canonical graph structure is a dict-of-dict-of-dict adjacency keyed by
+arbitrary hashable user ids — ideal for mutation and for the paper-facing
+API, terrible for the traversal hot paths: every hop hashes a user id,
+walks two dictionary levels and touches per-edge ``Relationship`` objects.
+
+:class:`CompiledGraph` is the derived, rebuildable index layer on top: a
+frozen snapshot that interns user ids and relationship labels to dense
+integers and stores, per label, forward and reverse adjacency in CSR form
+(one ``array('l')`` of offsets, one of targets).  The evaluation engines in
+:mod:`repro.reachability` run their product searches entirely on these
+integer arrays; user ids, attributes and witness ``Relationship`` objects
+are translated back only at the API boundary.
+
+Staleness contract
+------------------
+``SocialGraph`` stamps every mutation with an ``epoch`` counter.  A snapshot
+remembers the epoch it was compiled at; :func:`compile_graph` returns the
+cached snapshot while the epoch still matches and transparently rebuilds it
+otherwise.  The snapshot is therefore always *lazily* consistent: engines
+that call :func:`compile_graph` per query observe every committed mutation,
+at the cost of one O(|V| + |E|) rebuild per burst of mutations.  Attribute
+dictionaries are shared with the canonical graph (not copied), so reads
+through :meth:`CompiledGraph.attributes_of` always see current values; only
+*structural* interning (node set, label set, adjacency) needs the rebuild.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import Relationship, SocialGraph, UserId
+
+__all__ = ["CompiledGraph", "compile_graph"]
+
+#: CSR adjacency: ``targets[offsets[u]:offsets[u + 1]]`` are ``u``'s neighbours.
+CSR = Tuple[array, array]
+
+_SNAPSHOT_ATTR = "_compiled_snapshot"
+
+
+def _build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
+    """Counting-sort ``(source, target)`` pairs into a CSR adjacency."""
+    counts = [0] * node_count
+    for source, _target in pairs:
+        counts[source] += 1
+    offsets = array("l", [0]) * (node_count + 1)
+    total = 0
+    for node in range(node_count):
+        offsets[node] = total
+        total += counts[node]
+    offsets[node_count] = total
+    cursor = offsets.tolist()
+    targets = array("l", [0]) * total
+    for source, target in pairs:
+        targets[cursor[source]] = target
+        cursor[source] += 1
+    return offsets, targets
+
+
+class CompiledGraph:
+    """A frozen, integer-interned CSR snapshot of one :class:`SocialGraph`."""
+
+    __slots__ = (
+        "graph",
+        "epoch",
+        "node_ids",
+        "node_index",
+        "labels",
+        "label_index",
+        "attrs",
+        "_forward",
+        "_backward",
+        "_forward_all",
+        "_backward_all",
+    )
+
+    def __init__(self, graph: SocialGraph) -> None:
+        self.graph = graph
+        self.epoch: int = getattr(graph, "epoch", 0)
+        #: dense index -> user id, in the graph's (deterministic) insertion order
+        self.node_ids: List[UserId] = list(graph.users())
+        #: user id -> dense index
+        self.node_index: Dict[UserId, int] = {
+            user: index for index, user in enumerate(self.node_ids)
+        }
+        #: dense label id -> label (sorted, matching ``SocialGraph.labels()``)
+        self.labels: Tuple[str, ...] = graph.labels()
+        self.label_index: Dict[str, int] = {
+            label: index for index, label in enumerate(self.labels)
+        }
+        #: dense index -> live attribute mapping (shared with the graph)
+        self.attrs: List[Mapping[str, Any]] = [
+            graph._nodes[user] for user in self.node_ids
+        ]
+        per_label: List[List[Tuple[int, int]]] = [[] for _ in self.labels]
+        everything: List[Tuple[int, int]] = []
+        node_index = self.node_index
+        label_index = self.label_index
+        for user, index in node_index.items():
+            for target, edges in graph._succ[user].items():
+                target_index = node_index[target]
+                seen_pair = False
+                for label in edges:
+                    per_label[label_index[label]].append((index, target_index))
+                    if not seen_pair:
+                        # The merged adjacency collapses parallel labels: one
+                        # entry per (source, target) pair is enough for plain
+                        # reachability sweeps.
+                        everything.append((index, target_index))
+                        seen_pair = True
+        count = len(self.node_ids)
+        self._forward: List[CSR] = [_build_csr(pairs, count) for pairs in per_label]
+        self._backward: List[CSR] = [
+            _build_csr([(target, source) for source, target in pairs], count)
+            for pairs in per_label
+        ]
+        self._forward_all: CSR = _build_csr(everything, count)
+        self._backward_all: CSR = _build_csr(
+            [(target, source) for source, target in everything], count
+        )
+
+    # -------------------------------------------------------------- identity
+
+    def is_stale(self) -> bool:
+        """Whether the canonical graph has mutated since this snapshot was built."""
+        return self.epoch != getattr(self.graph, "epoch", self.epoch)
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|`` at snapshot time."""
+        return len(self.node_ids)
+
+    def number_of_labels(self) -> int:
+        """Return the size of the interned label alphabet."""
+        return len(self.labels)
+
+    def index_of(self, user: UserId) -> int:
+        """Return the dense index of ``user`` (raises :class:`NodeNotFoundError`)."""
+        try:
+            return self.node_index[user]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(user) from None
+
+    def user_of(self, index: int) -> UserId:
+        """Return the user id interned at ``index``."""
+        return self.node_ids[index]
+
+    def label_id(self, label: str) -> int:
+        """Return the dense id of ``label``, or ``-1`` when the graph has no such edges."""
+        return self.label_index.get(label, -1)
+
+    def attributes_of(self, index: int) -> Mapping[str, Any]:
+        """Return the (live) attribute mapping of the node at ``index``."""
+        return self.attrs[index]
+
+    # ------------------------------------------------------------- adjacency
+
+    def forward(self, label_id: Optional[int] = None) -> CSR:
+        """Return the forward CSR ``(offsets, targets)`` for one label (or merged)."""
+        if label_id is None:
+            return self._forward_all
+        return self._forward[label_id]
+
+    def backward(self, label_id: Optional[int] = None) -> CSR:
+        """Return the reverse CSR ``(offsets, sources)`` for one label (or merged)."""
+        if label_id is None:
+            return self._backward_all
+        return self._backward[label_id]
+
+    def out_neighbors(self, index: int, label_id: Optional[int] = None) -> array:
+        """Return the targets of edges leaving the node at ``index``."""
+        offsets, targets = self.forward(label_id)
+        return targets[offsets[index]:offsets[index + 1]]
+
+    def in_neighbors(self, index: int, label_id: Optional[int] = None) -> array:
+        """Return the sources of edges entering the node at ``index``."""
+        offsets, sources = self.backward(label_id)
+        return sources[offsets[index]:offsets[index + 1]]
+
+    def out_degree(self, index: int, label_id: Optional[int] = None) -> int:
+        """Return the snapshot out-degree of the node at ``index``."""
+        offsets, _targets = self.forward(label_id)
+        return offsets[index + 1] - offsets[index]
+
+    def in_degree(self, index: int, label_id: Optional[int] = None) -> int:
+        """Return the snapshot in-degree of the node at ``index``."""
+        offsets, _sources = self.backward(label_id)
+        return offsets[index + 1] - offsets[index]
+
+    def number_of_edges(self, label_id: Optional[int] = None) -> int:
+        """Return the number of CSR entries for one label (or distinct node pairs)."""
+        offsets, _targets = self.forward(label_id)
+        return offsets[-1]
+
+    # --------------------------------------------------------------- witness
+
+    def relationship(self, source: int, target: int, label_id: int) -> Relationship:
+        """Return the canonical :class:`Relationship` behind one CSR edge.
+
+        Witness paths are reconstructed on demand through this lookup, so the
+        search cores never touch per-edge objects.
+        """
+        return self.graph.get_relationship(
+            self.node_ids[source], self.node_ids[target], self.labels[label_id]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledGraph epoch={self.epoch}: {self.number_of_nodes()} nodes, "
+            f"{self.number_of_edges()} node pairs, {len(self.labels)} labels>"
+        )
+
+
+def compile_graph(graph: SocialGraph) -> CompiledGraph:
+    """Return the (lazily rebuilt) compiled snapshot of ``graph``.
+
+    The snapshot is cached on the graph instance and reused until the graph's
+    ``epoch`` moves, so repeated queries between mutations share one build.
+    """
+    snapshot: Optional[CompiledGraph] = getattr(graph, _SNAPSHOT_ATTR, None)
+    if snapshot is None or snapshot.is_stale():
+        snapshot = CompiledGraph(graph)
+        setattr(graph, _SNAPSHOT_ATTR, snapshot)
+    return snapshot

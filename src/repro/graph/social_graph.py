@@ -101,6 +101,22 @@ class SocialGraph:
         self._pred: Dict[UserId, Dict[UserId, Dict[str, Relationship]]] = {}
         self._num_edges = 0
         self._label_counts: Dict[str, int] = {}
+        self._epoch = 0
+
+    # ---------------------------------------------------------------- epochs
+
+    @property
+    def epoch(self) -> int:
+        """A version stamp bumped by every mutation.
+
+        Derived structures (compiled snapshots, decision caches) record the
+        epoch they were built at and rebuild lazily when it moves on.  Only
+        mutations through the public API bump it; writing through the live
+        mapping returned by :meth:`attributes` does not (use
+        :meth:`update_user` for attribute changes that must invalidate
+        caches).
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------ users
 
@@ -115,6 +131,7 @@ class SocialGraph:
         self._nodes[user] = dict(attributes)
         self._succ[user] = {}
         self._pred[user] = {}
+        self._epoch += 1
 
     def ensure_user(self, user: UserId, **attributes: Any) -> None:
         """Add the user if missing, merging ``attributes`` into existing ones."""
@@ -122,10 +139,12 @@ class SocialGraph:
             self.add_user(user, **attributes)
         elif attributes:
             self._nodes[user].update(attributes)
+            self._epoch += 1
 
     def update_user(self, user: UserId, **attributes: Any) -> None:
         """Merge ``attributes`` into an existing user's attribute tuple."""
         self._nodes[self._require(user)].update(attributes)
+        self._epoch += 1
 
     def remove_user(self, user: UserId) -> None:
         """Remove a user and every relationship incident to it."""
@@ -135,6 +154,7 @@ class SocialGraph:
         del self._nodes[user]
         del self._succ[user]
         del self._pred[user]
+        self._epoch += 1
 
     def has_user(self, user: UserId) -> bool:
         """Return whether ``user`` is a node of the graph."""
@@ -184,6 +204,7 @@ class SocialGraph:
         self._pred[target].setdefault(source, {})[rel.label] = rel
         self._num_edges += 1
         self._label_counts[rel.label] = self._label_counts.get(rel.label, 0) + 1
+        self._epoch += 1
         if reciprocal and not self.has_relationship(target, source, label):
             self.add_relationship(target, source, label, **attributes)
         return rel
@@ -204,6 +225,7 @@ class SocialGraph:
         self._label_counts[rel.label] -= 1
         if not self._label_counts[rel.label]:
             del self._label_counts[rel.label]
+        self._epoch += 1
 
     def has_relationship(self, source: UserId, target: UserId, label: Optional[str] = None) -> bool:
         """Return whether a relationship exists from ``source`` to ``target``.
@@ -284,11 +306,17 @@ class SocialGraph:
 
     def out_degree(self, user: UserId, label: Optional[str] = None) -> int:
         """Return the number of relationships going out of ``user``."""
-        return sum(1 for _ in self.out_relationships(user, label))
+        targets = self._succ[self._require(user)]
+        if label is None:
+            return sum(map(len, targets.values()))
+        return sum(1 for edges in targets.values() if label in edges)
 
     def in_degree(self, user: UserId, label: Optional[str] = None) -> int:
         """Return the number of relationships coming into ``user``."""
-        return sum(1 for _ in self.in_relationships(user, label))
+        sources = self._pred[self._require(user)]
+        if label is None:
+            return sum(map(len, sources.values()))
+        return sum(1 for edges in sources.values() if label in edges)
 
     def degree(self, user: UserId, label: Optional[str] = None) -> int:
         """Return the total (in + out) degree of ``user``."""
@@ -342,9 +370,13 @@ class SocialGraph:
         sub = SocialGraph(name=name or (self.name + "-subgraph" if self.name else "subgraph"))
         for user in keep:
             sub.add_user(user, **self._nodes[user])
-        for rel in self.relationships():
-            if rel.source in keep and rel.target in keep:
-                sub.add_relationship(rel.source, rel.target, rel.label, **dict(rel.attributes))
+        # Only the kept nodes' out-edges can be induced, so the scan is
+        # O(edges leaving the kept set) rather than O(|E|).
+        for user in keep:
+            for target, edges in self._succ[user].items():
+                if target in keep:
+                    for rel in edges.values():
+                        sub.add_relationship(user, target, rel.label, **dict(rel.attributes))
         return sub
 
     def reversed(self, name: str = "") -> "SocialGraph":

@@ -10,6 +10,12 @@ interval labeling → 2-hop cover → base tables / W-table / cluster join index
 from repro.reachability.automaton import AutomatonState, StepAutomaton
 from repro.reachability.bfs import OnlineBFSEvaluator
 from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.compiled_search import (
+    AutomatonCache,
+    CompiledAutomaton,
+    SearchOutcome,
+    product_search,
+)
 from repro.reachability.dfs import OnlineDFSEvaluator
 from repro.reachability.engine import (
     BACKENDS,
@@ -37,6 +43,10 @@ from repro.reachability.twohop import TwoHopCover, TwoHopIndex, TwoHopLabeling
 __all__ = [
     "AutomatonState",
     "StepAutomaton",
+    "AutomatonCache",
+    "CompiledAutomaton",
+    "SearchOutcome",
+    "product_search",
     "OnlineBFSEvaluator",
     "OnlineDFSEvaluator",
     "TransitiveClosureIndex",

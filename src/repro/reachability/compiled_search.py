@@ -1,0 +1,369 @@
+"""Integer product search over a :class:`~repro.graph.compiled.CompiledGraph`.
+
+This module is the shared traversal core of the online evaluators: the same
+constrained product walk as :mod:`repro.reachability.bfs` /
+:mod:`repro.reachability.dfs`, but run entirely on dense integers.
+
+* :class:`CompiledAutomaton` flattens a :class:`~repro.reachability.
+  automaton.StepAutomaton` into per-state lookup lists bound to one graph
+  snapshot: labels become label ids, states become consecutive ints, and the
+  epsilon-closure of states whose steps carry no attribute conditions is
+  precomputed into a shared tuple.  Attribute conditions are evaluated at
+  most once per (step, node) thanks to a byte-array memo.
+* :func:`product_search` walks the product of the CSR adjacency and the
+  compiled automaton.  A search node is packed into a single int
+  (``node * num_states + state``) so the visited set only ever hashes small
+  integers; witness information is kept as packed parent links and
+  reconstructed into :class:`~repro.graph.paths.Path` objects only on
+  demand, through :class:`SearchOutcome`.
+
+Both the breadth-first and the depth-first evaluator use the same core —
+they differ only in which end of the frontier is popped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.paths import Path, Traversal
+from repro.graph.social_graph import UserId
+from repro.policy.path_expression import PathExpression
+from repro.reachability.result import EvaluationResult
+
+__all__ = [
+    "CompiledAutomaton",
+    "AutomatonCache",
+    "CompiledSearchMixin",
+    "SearchOutcome",
+    "product_search",
+]
+
+#: A packed CSR edge as stored in parent links: (rel source, rel target,
+#: label id, traversed forward?).
+_Edge = Tuple[int, int, int, bool]
+
+
+class CompiledAutomaton:
+    """A step automaton flattened to dense ints and bound to one snapshot."""
+
+    __slots__ = (
+        "expression",
+        "snapshot",
+        "num_states",
+        "start_id",
+        "accept_id",
+        "can_more",
+        "label_of",
+        "allow_fwd",
+        "allow_bwd",
+        "depth_ok",
+        "advance_to",
+        "cond_of",
+        "_steps",
+        "_static_closure",
+        "_cond_memo",
+    )
+
+    def __init__(self, expression: PathExpression, snapshot: CompiledGraph) -> None:
+        self.expression = expression
+        self.snapshot = snapshot
+        steps = tuple(expression)
+        self._steps = steps
+        # State layout: step i owns the consecutive ids base[i] + d for depth
+        # d in [0, max_depth(i)]; the single accepting state comes last, so
+        # "one more edge of step i" is always ``state + 1``.
+        bases: List[int] = []
+        total = 0
+        for step in steps:
+            bases.append(total)
+            total += step.max_depth() + 1
+        self.num_states = total + 1
+        self.start_id = 0
+        self.accept_id = total
+
+        size = self.num_states
+        self.can_more: List[bool] = [False] * size
+        self.label_of: List[int] = [-1] * size
+        self.allow_fwd: List[bool] = [False] * size
+        self.allow_bwd: List[bool] = [False] * size
+        self.depth_ok: List[bool] = [False] * size
+        self.advance_to: List[int] = [self.accept_id] * size
+        self.cond_of: List[int] = [-1] * size
+
+        for index, step in enumerate(steps):
+            label_id = snapshot.label_id(step.label)
+            forward = step.direction.allows_forward()
+            backward = step.direction.allows_backward()
+            next_base = bases[index + 1] if index + 1 < len(steps) else self.accept_id
+            has_conditions = bool(step.conditions)
+            for depth in range(step.max_depth() + 1):
+                state = bases[index] + depth
+                self.label_of[state] = label_id
+                self.allow_fwd[state] = forward
+                self.allow_bwd[state] = backward
+                self.can_more[state] = depth < step.max_depth() and label_id >= 0
+                self.depth_ok[state] = depth in step.depths
+                self.advance_to[state] = next_base
+                self.cond_of[state] = index if has_conditions else -1
+
+        # Conditions are memoized per (step, node): 0 unknown, 1 holds, 2 fails.
+        self._cond_memo: Dict[int, bytearray] = {
+            index: bytearray(snapshot.number_of_nodes())
+            for index, step in enumerate(steps)
+            if step.conditions
+        }
+        self._static_closure: List[Optional[Tuple[int, ...]]] = [
+            self._compute_static_closure(state) for state in range(size)
+        ]
+
+    def _compute_static_closure(self, state: int) -> Optional[Tuple[int, ...]]:
+        """Precompute the closure when no attribute condition gates the chain."""
+        chain = [state]
+        current = state
+        while current != self.accept_id and self.depth_ok[current]:
+            if self.cond_of[current] >= 0:
+                return None
+            current = self.advance_to[current]
+            chain.append(current)
+        return tuple(chain)
+
+    def condition_holds(self, step_index: int, node: int) -> bool:
+        """Memoized evaluation of one step's attribute conditions at one node."""
+        memo = self._cond_memo[step_index]
+        cached = memo[node]
+        if cached:
+            return cached == 1
+        holds = self._steps[step_index].satisfied_by(self.snapshot.attrs[node])
+        memo[node] = 1 if holds else 2
+        return holds
+
+    def closure(self, state: int, node: int) -> Sequence[int]:
+        """Return ``state`` plus every state reachable by spontaneous advances."""
+        static = self._static_closure[state]
+        if static is not None:
+            return static
+        chain = [state]
+        current = state
+        while current != self.accept_id and self.depth_ok[current]:
+            step_index = self.cond_of[current]
+            if step_index >= 0 and not self.condition_holds(step_index, node):
+                break
+            current = self.advance_to[current]
+            chain.append(current)
+        return chain
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledAutomaton over {self.expression.to_text()!r}, "
+            f"{self.num_states} states, epoch={self.snapshot.epoch}>"
+        )
+
+
+class AutomatonCache:
+    """Per-engine ``PathExpression -> CompiledAutomaton`` memo.
+
+    Compiled automata are bound to one snapshot (label ids, condition memos),
+    so the cache is invalidated as a whole whenever the snapshot's epoch
+    moves on.
+    """
+
+    __slots__ = ("_epoch", "_cache")
+
+    def __init__(self) -> None:
+        self._epoch: Optional[int] = None
+        self._cache: Dict[str, CompiledAutomaton] = {}
+
+    def get(self, expression: PathExpression, snapshot: CompiledGraph) -> CompiledAutomaton:
+        """Return the compiled automaton for ``expression`` over ``snapshot``."""
+        if self._epoch != snapshot.epoch:
+            self._cache.clear()
+            self._epoch = snapshot.epoch
+        key = expression.to_text()
+        automaton = self._cache.get(key)
+        if automaton is None or automaton.snapshot is not snapshot:
+            automaton = CompiledAutomaton(expression, snapshot)
+            self._cache[key] = automaton
+        return automaton
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class CompiledSearchMixin:
+    """Compiled-search dispatch shared by the online BFS/DFS evaluators.
+
+    Hosts need ``self.graph`` and an ``AutomatonCache`` at ``self._automata``;
+    the only degree of freedom is the class attribute ``_depth_first``.
+    """
+
+    _depth_first = False
+
+    def _compiled_search(
+        self,
+        source: UserId,
+        expression: PathExpression,
+        result: EvaluationResult,
+        *,
+        stop_at: Optional[UserId],
+        collect_witness: bool,
+    ) -> "SearchOutcome":
+        """Run the product walk on the compiled CSR snapshot of the graph."""
+        snapshot = compile_graph(self.graph)
+        source_index = snapshot.index_of(source)
+        stop_index = None if stop_at is None else snapshot.index_of(stop_at)
+        automaton = self._automata.get(expression, snapshot)
+        return product_search(
+            snapshot,
+            automaton,
+            source_index,
+            stop_index,
+            result,
+            collect_witness=collect_witness,
+            depth_first=self._depth_first,
+        )
+
+
+class SearchOutcome:
+    """Accepted nodes of one product search, with on-demand witness decoding."""
+
+    __slots__ = ("_snapshot", "_source", "_accepted", "_parents")
+
+    def __init__(
+        self,
+        snapshot: CompiledGraph,
+        source: int,
+        accepted: Dict[int, Optional[int]],
+        parents: Optional[Dict[int, Tuple[Optional[int], Optional[_Edge]]]],
+    ) -> None:
+        self._snapshot = snapshot
+        self._source = source
+        self._accepted = accepted
+        self._parents = parents
+
+    def contains(self, user: UserId) -> bool:
+        """Whether ``user`` was accepted by the search."""
+        index = self._snapshot.node_index.get(user)
+        return index is not None and index in self._accepted
+
+    def users(self) -> Set[UserId]:
+        """Return the accepted nodes translated back to user ids."""
+        user_of = self._snapshot.node_ids
+        return {user_of[index] for index in self._accepted}
+
+    def witness(self, user: UserId) -> Optional[Path]:
+        """Reconstruct the witness path to ``user`` (``None`` without parents)."""
+        if self._parents is None:
+            return None
+        index = self._snapshot.node_index.get(user)
+        if index is None:
+            return None
+        key = self._accepted.get(index)
+        if key is None:
+            return None
+        edges: List[_Edge] = []
+        current: Optional[int] = key
+        while current is not None:
+            parent, edge = self._parents[current]
+            if edge is not None:
+                edges.append(edge)
+            current = parent
+        edges.reverse()
+        snapshot = self._snapshot
+        traversals = [
+            Traversal(snapshot.relationship(rel_source, rel_target, label_id), forward=forward)
+            for rel_source, rel_target, label_id, forward in edges
+        ]
+        return Path(snapshot.user_of(self._source), traversals)
+
+
+def product_search(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    source: int,
+    stop_at: Optional[int],
+    result: EvaluationResult,
+    *,
+    collect_witness: bool,
+    depth_first: bool = False,
+) -> SearchOutcome:
+    """Run the constrained product walk from ``source`` on integer CSR arrays.
+
+    ``stop_at`` short-circuits the walk once that node is accepted (the
+    ``evaluate`` form); ``None`` exhausts the reachable product space (the
+    ``find_targets`` form).  Counters mirror the legacy dict-based search:
+    one ``states_visited`` per product state discovered, one
+    ``edges_expanded`` per CSR entry scanned.
+    """
+    num_states = automaton.num_states
+    accept_id = automaton.accept_id
+    can_more = automaton.can_more
+    label_of = automaton.label_of
+    allow_fwd = automaton.allow_fwd
+    allow_bwd = automaton.allow_bwd
+    closure = automaton.closure
+
+    visited: Set[int] = set()
+    accepted: Dict[int, Optional[int]] = {}
+    parents: Optional[Dict[int, Tuple[Optional[int], Optional[_Edge]]]] = (
+        {} if collect_witness else None
+    )
+    frontier: deque = deque()
+    edges_expanded = 0
+
+    for state in closure(automaton.start_id, source):
+        key = source * num_states + state
+        if key not in visited:
+            visited.add(key)
+            if parents is not None:
+                parents[key] = (None, None)
+            frontier.append(key)
+            if state == accept_id and source not in accepted:
+                accepted[source] = key if collect_witness else None
+
+    pop = frontier.pop if depth_first else frontier.popleft
+    while frontier:
+        if stop_at is not None and stop_at in accepted:
+            break
+        key = pop()
+        node, state = divmod(key, num_states)
+        if not can_more[state]:
+            continue
+        label_id = label_of[state]
+        next_state = state + 1
+        for forward in (True, False):
+            if forward:
+                if not allow_fwd[state]:
+                    continue
+                offsets, targets = snapshot.forward(label_id)
+            else:
+                if not allow_bwd[state]:
+                    continue
+                offsets, targets = snapshot.backward(label_id)
+            for position in range(offsets[node], offsets[node + 1]):
+                neighbor = targets[position]
+                edges_expanded += 1
+                edge: Optional[_Edge] = None
+                for closed in closure(next_state, neighbor):
+                    neighbor_key = neighbor * num_states + closed
+                    if neighbor_key in visited:
+                        continue
+                    visited.add(neighbor_key)
+                    if parents is not None:
+                        if edge is None:
+                            edge = (
+                                (node, neighbor, label_id, True)
+                                if forward
+                                else (neighbor, node, label_id, False)
+                            )
+                        parents[neighbor_key] = (key, edge)
+                    frontier.append(neighbor_key)
+                    if closed == accept_id and neighbor not in accepted:
+                        accepted[neighbor] = neighbor_key if collect_witness else None
+
+    if visited:
+        result.count("states_visited", len(visited))
+    if edges_expanded:
+        result.count("edges_expanded", edges_expanded)
+    return SearchOutcome(snapshot, source, accepted, parents)

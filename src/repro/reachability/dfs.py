@@ -7,6 +7,10 @@ differs: DFS dives along one branch first, which tends to find *a* witness
 faster on graphs with long chains, at the cost of not returning shortest
 witnesses.  Implemented iteratively (explicit stack) so that deep graphs do
 not hit Python's recursion limit.
+
+Like the BFS evaluator, the search runs on the graph's compiled CSR snapshot
+by default (``compiled=False`` restores the legacy dict traversal); the two
+modes are equivalent and only differ in constant factors.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from repro.graph.paths import Path, Traversal
 from repro.graph.social_graph import SocialGraph
 from repro.policy.path_expression import PathExpression
 from repro.reachability.automaton import AutomatonState, StepAutomaton
+from repro.reachability.compiled_search import AutomatonCache, CompiledSearchMixin
 from repro.reachability.result import EvaluationResult
 
 __all__ = ["OnlineDFSEvaluator"]
@@ -26,13 +31,16 @@ __all__ = ["OnlineDFSEvaluator"]
 _SearchNode = Tuple[Hashable, AutomatonState]
 
 
-class OnlineDFSEvaluator:
+class OnlineDFSEvaluator(CompiledSearchMixin):
     """Evaluate ordered label-constraint reachability queries by constrained DFS."""
 
     name = "dfs"
+    _depth_first = True
 
-    def __init__(self, graph: SocialGraph) -> None:
+    def __init__(self, graph: SocialGraph, *, compiled: bool = True) -> None:
         self.graph = graph
+        self.compiled = compiled and isinstance(graph, SocialGraph)
+        self._automata = AutomatonCache()
 
     def build(self) -> "OnlineDFSEvaluator":
         """No precomputation is needed; returns ``self`` for interface parity."""
@@ -55,20 +63,31 @@ class OnlineDFSEvaluator:
         """Return whether ``target`` is reachable from ``source`` under ``expression``."""
         started = time.perf_counter()
         result = EvaluationResult(reachable=False, backend=self.name)
-        accepted = self._search(source, expression, result, stop_at=target,
-                                collect_witness=collect_witness)
-        result.reachable = target in accepted
-        if collect_witness and result.reachable:
-            result.witness = accepted[target]
+        if self.compiled:
+            outcome = self._compiled_search(source, expression, result, stop_at=target,
+                                            collect_witness=collect_witness)
+            result.reachable = outcome.contains(target)
+            if collect_witness and result.reachable:
+                result.witness = outcome.witness(target)
+        else:
+            accepted = self._search(source, expression, result, stop_at=target,
+                                    collect_witness=collect_witness)
+            result.reachable = target in accepted
+            if collect_witness and result.reachable:
+                result.witness = accepted[target]
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
     def find_targets(self, source: Hashable, expression: PathExpression) -> Set[Hashable]:
         """Return every user reachable from ``source`` under ``expression``."""
         result = EvaluationResult(reachable=False, backend=self.name)
+        if self.compiled:
+            outcome = self._compiled_search(source, expression, result, stop_at=None,
+                                            collect_witness=False)
+            return outcome.users()
         return set(self._search(source, expression, result, stop_at=None, collect_witness=False))
 
-    # --------------------------------------------------------------- search
+    # ------------------------------------------------- legacy (dict) search
 
     def _search(
         self,

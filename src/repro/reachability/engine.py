@@ -22,7 +22,9 @@ the access-control engine, the examples and the benchmark harness.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Union
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import UnknownBackendError
 from repro.graph.social_graph import SocialGraph
@@ -72,7 +74,20 @@ def create_evaluator(backend: str, graph: SocialGraph, *, build: bool = True, **
 
 
 class ReachabilityEngine:
-    """Facade over one evaluation backend, with convenience query forms."""
+    """Facade over one evaluation backend, with convenience query forms.
+
+    Besides dispatching to the backend, the facade memoizes at two levels:
+
+    * a **parse cache** mapping expression text to its parsed
+      :class:`PathExpression` (the policy engine re-submits the same textual
+      conditions for every access request);
+    * an **LRU decision memo** keyed by ``(source, target, expression,
+      collect_witness)`` and stamped with the graph's mutation epoch — any
+      committed graph mutation invalidates the whole memo, so cached
+      decisions are never stale.  :meth:`~repro.policy.engine.
+      AccessControlEngine.check_access` rides on this cache directly; set
+      ``cache_size=0`` to disable it (e.g. for benchmarking raw backends).
+    """
 
     def __init__(
         self,
@@ -80,6 +95,7 @@ class ReachabilityEngine:
         backend: Union[str, object] = "bfs",
         *,
         build: bool = True,
+        cache_size: int = 4096,
         **options,
     ) -> None:
         self.graph = graph
@@ -88,11 +104,56 @@ class ReachabilityEngine:
         else:
             self._evaluator = backend
         self.backend_name = getattr(self._evaluator, "name", type(self._evaluator).__name__)
+        self._cache_size = max(0, cache_size)
+        self._caching = self._cache_size > 0 and hasattr(graph, "epoch")
+        self._cache_epoch: Optional[int] = None
+        self._parse_cache: Dict[str, PathExpression] = {}
+        self._decision_cache: "OrderedDict[Tuple, EvaluationResult]" = OrderedDict()
+        self._targets_cache: "OrderedDict[Tuple, FrozenSet[Hashable]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def evaluator(self):
         """The underlying backend instance."""
         return self._evaluator
+
+    # -------------------------------------------------------------- caching
+
+    def _parse(self, expression: Union[str, PathExpression]) -> PathExpression:
+        if not isinstance(expression, str):
+            return expression
+        parsed = self._parse_cache.get(expression)
+        if parsed is None:
+            parsed = PathExpression.parse(expression)
+            self._parse_cache[expression] = parsed
+        return parsed
+
+    def _cache_ready(self) -> bool:
+        """Roll the memo forward to the current graph epoch; False disables it."""
+        if not self._caching:
+            return False
+        epoch = self.graph.epoch
+        if epoch != self._cache_epoch:
+            self._decision_cache.clear()
+            self._targets_cache.clear()
+            self._cache_epoch = epoch
+        return True
+
+    def _cache_put(self, cache: OrderedDict, key: Tuple, value) -> None:
+        cache[key] = value
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Return decision-memo occupancy and hit/miss counts."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "decisions": len(self._decision_cache),
+            "target_sets": len(self._targets_cache),
+            "max_size": self._cache_size,
+        }
 
     # ------------------------------------------------------------------ api
 
@@ -105,11 +166,25 @@ class ReachabilityEngine:
         collect_witness: bool = True,
     ) -> EvaluationResult:
         """Evaluate one query; ``expression`` may be a string or a parsed expression."""
-        if isinstance(expression, str):
-            expression = PathExpression.parse(expression)
-        return self._evaluator.evaluate(
+        expression = self._parse(expression)
+        if not self._cache_ready():
+            return self._evaluator.evaluate(
+                source, target, expression, collect_witness=collect_witness
+            )
+        key = (source, target, expression.to_text(), collect_witness)
+        cached = self._decision_cache.get(key)
+        if cached is not None:
+            self._decision_cache.move_to_end(key)
+            self.cache_hits += 1
+            # Hand out a copy so callers mutating counters cannot poison the memo.
+            return dataclasses.replace(cached, counters=dict(cached.counters))
+        self.cache_misses += 1
+        result = self._evaluator.evaluate(
             source, target, expression, collect_witness=collect_witness
         )
+        self._cache_put(self._decision_cache, key,
+                        dataclasses.replace(result, counters=dict(result.counters)))
+        return result
 
     def is_reachable(
         self,
@@ -126,13 +201,26 @@ class ReachabilityEngine:
         expression: Union[str, PathExpression],
     ) -> Set[Hashable]:
         """Return every user reachable from ``source`` under ``expression``."""
-        if isinstance(expression, str):
-            expression = PathExpression.parse(expression)
-        return self._evaluator.find_targets(source, expression)
+        expression = self._parse(expression)
+        if not self._cache_ready():
+            return self._evaluator.find_targets(source, expression)
+        key = (source, expression.to_text())
+        cached = self._targets_cache.get(key)
+        if cached is not None:
+            self._targets_cache.move_to_end(key)
+            self.cache_hits += 1
+            return set(cached)
+        self.cache_misses += 1
+        targets = self._evaluator.find_targets(source, expression)
+        self._cache_put(self._targets_cache, key, frozenset(targets))
+        return targets
 
     def statistics(self) -> Dict[str, float]:
         """Return the backend's index statistics (size, build time...)."""
-        return dict(self._evaluator.statistics())
+        stats = dict(self._evaluator.statistics())
+        stats["decision_cache_hits"] = float(self.cache_hits)
+        stats["decision_cache_misses"] = float(self.cache_misses)
+        return stats
 
     def __repr__(self) -> str:
         return f"<ReachabilityEngine backend={self.backend_name!r} over {self.graph!r}>"

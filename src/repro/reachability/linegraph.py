@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
+from repro.graph.compiled import compile_graph
 from repro.graph.social_graph import Relationship, SocialGraph
 
 __all__ = ["LineVertex", "LineGraph"]
@@ -85,7 +86,37 @@ class LineGraph:
             self._add_vertex(rel, FORWARD, rel.source, rel.target)
             if self.include_reverse:
                 self._add_vertex(rel, REVERSE, rel.target, rel.source)
-        # Adjacency: the end of one traversal is the start of the next.
+        # Adjacency: the end of one traversal is the start of the next.  On a
+        # SocialGraph the assembly runs on the compiled snapshot's dense node
+        # indices, which makes the key observation cheap: every line vertex
+        # ending at the same user has the *same* successor set (unless it
+        # also starts there, the self-loop case), so one canonical set per
+        # end-user is built and shared instead of one per vertex — turning
+        # the O(in-degree x out-degree) set inserts of the naive loop into
+        # O(distinct end-users x out-degree).  The sets are never mutated
+        # after construction (the public accessors copy), so sharing is safe.
+        if isinstance(self.graph, SocialGraph) and self._vertices:
+            index_of = compile_graph(self.graph).node_index
+            vertices = list(self._vertices.values())
+            ids = [vertex.vertex_id for vertex in vertices]
+            start_at = [index_of[vertex.start] for vertex in vertices]
+            end_at = [index_of[vertex.end] for vertex in vertices]
+            starting: List[List[int]] = [[] for _ in range(len(index_of))]
+            for position, node in enumerate(start_at):
+                starting[node].append(position)
+            shared: Dict[int, Set[str]] = {}
+            for position, node in enumerate(end_at):
+                if start_at[position] == node:
+                    # Vertex loops back to its own start user: exclude itself.
+                    self._adjacency[ids[position]] = {
+                        ids[succ] for succ in starting[node] if succ != position
+                    }
+                    continue
+                successors = shared.get(node)
+                if successors is None:
+                    successors = shared[node] = {ids[succ] for succ in starting[node]}
+                self._adjacency[ids[position]] = successors
+            return
         for vertex in self._vertices.values():
             targets = self._adjacency[vertex.vertex_id]
             for next_id in self._by_start.get(vertex.end, ()):  # noqa: B023 - plain loop

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import IndexNotBuiltError, NodeNotFoundError
+from repro.graph.compiled import CSR, compile_graph
 from repro.graph.social_graph import SocialGraph
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction
@@ -31,6 +32,27 @@ from repro.reachability.bfs import OnlineBFSEvaluator
 from repro.reachability.result import EvaluationResult
 
 __all__ = ["TransitiveClosureIndex", "TransitiveClosureEvaluator"]
+
+
+def _int_descendants(start: int, node_count: int, adjacencies: Sequence[CSR]) -> List[int]:
+    """Collect every node reachable from ``start`` over the given CSR arrays.
+
+    ``start`` itself is included only when a cycle leads back to it, matching
+    the dict-based closure semantics.
+    """
+    seen = bytearray(node_count)
+    stack = [start]
+    reached: List[int] = []
+    while stack:
+        node = stack.pop()
+        for offsets, targets in adjacencies:
+            for position in range(offsets[node], offsets[node + 1]):
+                neighbor = targets[position]
+                if not seen[neighbor]:
+                    seen[neighbor] = 1
+                    reached.append(neighbor)
+                    stack.append(neighbor)
+    return reached
 
 
 class TransitiveClosureIndex:
@@ -47,8 +69,50 @@ class TransitiveClosureIndex:
     # ---------------------------------------------------------------- build
 
     def build(self) -> "TransitiveClosureIndex":
-        """Compute every closure by one BFS per (user, label-filter) pair."""
+        """Compute every closure by one sweep per (user, label-filter) pair.
+
+        On a :class:`SocialGraph` the sweeps run over the compiled CSR
+        snapshot — integer adjacency, a byte-array seen set — instead of the
+        dict-of-dicts structure; the asymptotics are unchanged (this is the
+        paper's deliberately expensive baseline) but the constants drop by
+        an order of magnitude.
+        """
         started = time.perf_counter()
+        if isinstance(self.graph, SocialGraph):
+            self._build_compiled()
+        else:
+            self._build_uncompiled()
+        self.build_seconds = time.perf_counter() - started
+        self._built = True
+        return self
+
+    def _build_compiled(self) -> None:
+        snapshot = compile_graph(self.graph)
+        node_count = snapshot.number_of_nodes()
+        user_of = snapshot.node_ids
+        forward = [snapshot.forward()]
+        both = [snapshot.forward(), snapshot.backward()]
+        self._global = {
+            user_of[index]: {user_of[reached] for reached in
+                             _int_descendants(index, node_count, forward)}
+            for index in range(node_count)
+        }
+        self._undirected = {
+            user_of[index]: {user_of[reached] for reached in
+                             _int_descendants(index, node_count, both)}
+            for index in range(node_count)
+        }
+        self._per_label = {
+            label: {
+                user_of[index]: {user_of[reached] for reached in
+                                 _int_descendants(index, node_count,
+                                                  [snapshot.forward(label_id)])}
+                for index in range(node_count)
+            }
+            for label_id, label in enumerate(snapshot.labels)
+        }
+
+    def _build_uncompiled(self) -> None:
         labels = self.graph.labels()
         self._global = {user: self._descendants(user, None, undirected=False)
                         for user in self.graph.users()}
@@ -59,9 +123,6 @@ class TransitiveClosureIndex:
                     for user in self.graph.users()}
             for label in labels
         }
-        self.build_seconds = time.perf_counter() - started
-        self._built = True
-        return self
 
     def _descendants(self, source: Hashable, label: Optional[str], *, undirected: bool) -> Set[Hashable]:
         reached: Set[Hashable] = set()

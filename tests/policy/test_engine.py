@@ -127,6 +127,19 @@ class TestBackends:
         assert stats["resources"] == 3.0
         assert stats["rules"] == 2.0
 
+    def test_repeated_checks_ride_the_decision_memo(self, figure1, engine):
+        for _ in range(3):
+            assert engine.check_access(FRED, "photos").granted
+        info = engine.reachability.cache_info()
+        assert info["hits"] >= 2
+
+    def test_decision_memo_invalidated_by_graph_mutation(self, figure1, engine):
+        assert not engine.is_allowed(GEORGE, "jokes")
+        figure1.add_relationship(GEORGE, DAVID, "friend")
+        assert engine.is_allowed(GEORGE, "jokes")
+        figure1.remove_relationship(GEORGE, DAVID, "friend")
+        assert not engine.is_allowed(GEORGE, "jokes")
+
 
 class TestAuditIntegration:
     def test_decisions_are_recorded(self, figure1, store):

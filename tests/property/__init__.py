@@ -1,0 +1,1 @@
+"""Test package (gives duplicate basenames like test_engine.py unique module paths)."""

@@ -73,3 +73,63 @@ class TestFacade:
         engine = ReachabilityEngine(figure1, backend)
         assert engine.is_reachable("Alice", "Fred", "friend+[1,2]/colleague+[1]")
         assert not engine.is_reachable("George", "Alice", "friend+[1,3]")
+
+
+class TestDecisionMemo:
+    @pytest.fixture
+    def engine(self, figure1):
+        return ReachabilityEngine(figure1, "bfs")
+
+    def test_repeated_decisions_hit_the_cache(self, engine):
+        assert engine.is_reachable("Alice", "Colin", "friend+[1]")
+        assert engine.cache_info()["misses"] == 1
+        for _ in range(3):
+            assert engine.is_reachable("Alice", "Colin", "friend+[1]")
+        assert engine.cache_info()["hits"] == 3
+
+    def test_string_and_parsed_expressions_share_entries(self, engine):
+        engine.is_reachable("Alice", "Colin", "friend+[1]")
+        engine.is_reachable("Alice", "Colin", PathExpression.parse("friend+[1]"))
+        assert engine.cache_info()["hits"] == 1
+
+    def test_mutation_invalidates_cached_decisions(self, figure1, engine):
+        assert not engine.is_reachable("Alice", "George", "colleague+[1]")
+        figure1.add_relationship("Alice", "George", "colleague")
+        assert engine.is_reachable("Alice", "George", "colleague+[1]")
+        figure1.remove_relationship("Alice", "George", "colleague")
+        assert not engine.is_reachable("Alice", "George", "colleague+[1]")
+
+    def test_find_targets_is_memoized_and_copies(self, engine):
+        first = engine.find_targets("Alice", "friend+[1]")
+        second = engine.find_targets("Alice", "friend+[1]")
+        assert first == second == {"Colin", "Bill"}
+        assert engine.cache_info()["hits"] == 1
+        second.add("Mallory")  # caller-side mutation must not poison the memo
+        assert engine.find_targets("Alice", "friend+[1]") == {"Colin", "Bill"}
+
+    def test_cached_results_are_isolated_copies(self, engine):
+        first = engine.evaluate("Alice", "Colin", "friend+[1]")
+        first.counters["states_visited"] = 10_000
+        second = engine.evaluate("Alice", "Colin", "friend+[1]")
+        assert second.counters.get("states_visited", 0) != 10_000
+
+    def test_cache_can_be_disabled(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs", cache_size=0)
+        engine.is_reachable("Alice", "Colin", "friend+[1]")
+        engine.is_reachable("Alice", "Colin", "friend+[1]")
+        info = engine.cache_info()
+        assert info["hits"] == 0 and info["decisions"] == 0
+
+    def test_lru_eviction_respects_cache_size(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs", cache_size=2)
+        users = ["Colin", "Bill", "David"]
+        for user in users:
+            engine.is_reachable("Alice", user, "friend+[1,2]")
+        assert engine.cache_info()["decisions"] == 2
+
+    def test_statistics_expose_cache_counts(self, engine):
+        engine.is_reachable("Alice", "Colin", "friend+[1]")
+        engine.is_reachable("Alice", "Colin", "friend+[1]")
+        stats = engine.statistics()
+        assert stats["decision_cache_hits"] == 1.0
+        assert stats["decision_cache_misses"] == 1.0
