@@ -34,7 +34,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import Relationship, SocialGraph, UserId
 
-__all__ = ["CompiledGraph", "compile_graph"]
+__all__ = ["CompiledGraph", "build_csr", "compile_graph"]
 
 #: CSR adjacency: ``targets[offsets[u]:offsets[u + 1]]`` are ``u``'s neighbours.
 CSR = Tuple[array, array]
@@ -42,8 +42,13 @@ CSR = Tuple[array, array]
 _SNAPSHOT_ATTR = "_compiled_snapshot"
 
 
-def _build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
-    """Counting-sort ``(source, target)`` pairs into a CSR adjacency."""
+def build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
+    """Counting-sort ``(source, target)`` int pairs into a CSR adjacency.
+
+    The one CSR builder of the codebase — the snapshot's per-label adjacency
+    and every dense structure in :mod:`repro.reachability.interned` go
+    through it.
+    """
     counts = [0] * node_count
     for source, _target in pairs:
         counts[source] += 1
@@ -76,6 +81,7 @@ class CompiledGraph:
         "_backward",
         "_forward_all",
         "_backward_all",
+        "derived",
     )
 
     def __init__(self, graph: SocialGraph) -> None:
@@ -113,15 +119,19 @@ class CompiledGraph:
                         everything.append((index, target_index))
                         seen_pair = True
         count = len(self.node_ids)
-        self._forward: List[CSR] = [_build_csr(pairs, count) for pairs in per_label]
+        self._forward: List[CSR] = [build_csr(pairs, count) for pairs in per_label]
         self._backward: List[CSR] = [
-            _build_csr([(target, source) for source, target in pairs], count)
+            build_csr([(target, source) for source, target in pairs], count)
             for pairs in per_label
         ]
-        self._forward_all: CSR = _build_csr(everything, count)
-        self._backward_all: CSR = _build_csr(
+        self._forward_all: CSR = build_csr(everything, count)
+        self._backward_all: CSR = build_csr(
             [(target, source) for source, target in everything], count
         )
+        #: derived per-snapshot indexes (e.g. the interned line index),
+        #: keyed by the deriving module; they share this snapshot's lifetime,
+        #: so epoch-based invalidation comes for free.
+        self.derived: Dict[Any, Any] = {}
 
     # -------------------------------------------------------------- identity
 

@@ -21,7 +21,7 @@ Design points:
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.graph.social_graph import SocialGraph
 from repro.policy.audit import AuditLog
@@ -141,24 +141,72 @@ class AccessControlEngine:
         Computed from the owner outwards with ``find_targets``, which is much
         cheaper than testing every user of the network individually.
         """
-        resource = self.store.resource(resource_id)
-        audience: Set[Hashable] = {resource.owner}
-        for rule in self.store.rules_for(resource_id):
-            audience |= self._rule_audience(rule)
-        return audience
+        return self.authorized_audiences([resource_id])[resource_id]
+
+    def authorized_audiences(
+        self,
+        resource_ids: Iterable[Hashable],
+    ) -> Dict[Hashable, Set[Hashable]]:
+        """Materialize the audiences of many resources in one bulk pass.
+
+        Access conditions across every requested resource are grouped by
+        path expression and each group is answered by one
+        :meth:`ReachabilityEngine.find_targets_many` sweep (the batched
+        audience materialization: one compiled automaton per distinct
+        expression, shared across all owners), then recombined per rule.
+        """
+        resource_ids = list(dict.fromkeys(resource_ids))
+        rules_of = {rid: self.store.rules_for(rid) for rid in resource_ids}
+        # One batched sweep per distinct expression, over every owner that
+        # states a condition with it (an ordered set keeps runs deterministic).
+        sweeps: Dict[str, Tuple[object, Dict[Hashable, None]]] = {}
+        for rules in rules_of.values():
+            for rule in rules:
+                for condition in rule.conditions:
+                    text = condition.path.to_text()
+                    entry = sweeps.get(text)
+                    if entry is None:
+                        entry = sweeps[text] = (condition.path, {})
+                    entry[1][condition.owner] = None
+        audience_of: Dict[Tuple[str, Hashable], Set[Hashable]] = {}
+        for text, (path, owners) in sweeps.items():
+            for owner, targets in self.reachability.find_targets_many(owners, path).items():
+                audience_of[(text, owner)] = targets
+        audiences: Dict[Hashable, Set[Hashable]] = {}
+        for resource_id in resource_ids:
+            resource = self.store.resource(resource_id)
+            audience: Set[Hashable] = {resource.owner}
+            for rule in rules_of[resource_id]:
+                audience |= self._combine_rule_audience(rule, audience_of)
+            audiences[resource_id] = audience
+        return audiences
 
     def _rule_audience(self, rule: AccessRule) -> Set[Hashable]:
-        audiences: List[Set[Hashable]] = []
-        for condition in rule.conditions:
-            audiences.append(self.reachability.find_targets(condition.owner, condition.path))
+        audience_of = {
+            (condition.path.to_text(), condition.owner): self.reachability.find_targets(
+                condition.owner, condition.path
+            )
+            for condition in rule.conditions
+        }
+        return self._combine_rule_audience(rule, audience_of)
+
+    @staticmethod
+    def _combine_rule_audience(
+        rule: AccessRule,
+        audience_of: Dict[Tuple[str, Hashable], Set[Hashable]],
+    ) -> Set[Hashable]:
+        audiences = [
+            audience_of[(condition.path.to_text(), condition.owner)]
+            for condition in rule.conditions
+        ]
         if not audiences:
             return set()
         if rule.combination is CombinationMode.ALL:
-            result = audiences[0]
+            result = set(audiences[0])
             for audience in audiences[1:]:
                 result &= audience
             return result
-        result = set()
+        result: Set[Hashable] = set()
         for audience in audiences:
             result |= audience
         return result

@@ -14,6 +14,7 @@ from repro.reachability.compiled_search import (
     AutomatonCache,
     CompiledAutomaton,
     SearchOutcome,
+    audience_sweep,
     product_search,
 )
 from repro.reachability.dfs import OnlineDFSEvaluator
@@ -23,6 +24,7 @@ from repro.reachability.engine import (
     available_backends,
     create_evaluator,
 )
+from repro.reachability.interned import InternedLineIndex, interned_line_index
 from repro.reachability.interval import IntervalLabeling, ReachabilityTable, topological_order
 from repro.reachability.join_index import ClusterEntry, JoinIndex
 from repro.reachability.linegraph import LineGraph, LineVertex
@@ -47,6 +49,9 @@ __all__ = [
     "CompiledAutomaton",
     "SearchOutcome",
     "product_search",
+    "audience_sweep",
+    "InternedLineIndex",
+    "interned_line_index",
     "OnlineBFSEvaluator",
     "OnlineDFSEvaluator",
     "TransitiveClosureIndex",

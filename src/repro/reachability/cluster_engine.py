@@ -17,30 +17,50 @@ proceeds exactly as the paper describes:
    Distance constraints are already enforced by the expansion (each hop is
    one edge).
 
-One deviation from a literal reading of the paper, made for tractability and
-recorded in DESIGN.md: tuples are assembled left-to-right with the adjacency
-check applied *while* chaining join pairs instead of only after full tuples
-are materialized — materializing the full cartesian pattern-match first can
-be exponentially larger, and filtering early yields exactly the same final
-tuple set (adjacency is a per-consecutive-pair predicate).
+Two deviations from a literal reading of the paper, made for tractability
+and recorded in DESIGN.md:
+
+* tuples are assembled left-to-right with the adjacency check applied
+  *while* chaining join pairs instead of only after full tuples are
+  materialized — materializing the full cartesian pattern-match first can be
+  exponentially larger, and filtering early yields exactly the same final
+  tuple set (adjacency is a per-consecutive-pair predicate);
+* on the default interned path the assembly additionally deduplicates
+  chains by their tail vertex at every position: whether a partial tuple can
+  be extended depends only on its last line vertex, so one representative
+  chain (with parent links for witness decoding) stands for all chains
+  sharing a tail — the frontier is bounded by the number of line vertices
+  instead of growing with the number of distinct paths.
+
+By default the matching runs on the snapshot's
+:class:`~repro.reachability.interned.InternedLineIndex` — line vertices are
+dense ints, the frontier is deduplicated through ``bytearray`` seen-sets and
+string ids are decoded only for witness paths.  ``interned=False`` keeps the
+legacy string-id matching over the :class:`LineGraph` /
+:class:`JoinIndex` structures (the benchmark harness compares the two).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import IndexNotBuiltError, NodeNotFoundError
 from repro.graph.paths import Path, Traversal
 from repro.graph.social_graph import SocialGraph
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction
+from repro.reachability.interned import FORWARD_BYTE, InternedLineIndex, interned_line_index
 from repro.reachability.join_index import JoinIndex
 from repro.reachability.linegraph import FORWARD, LineGraph, LineVertex
 from repro.reachability.query import LineHop, LineQuery, expand_line_queries
 from repro.reachability.result import EvaluationResult
 
 __all__ = ["ClusterIndexEvaluator"]
+
+#: Per-hop matching spec on the interned path:
+#: (label id, allows forward, allows backward, condition step index or -1).
+_HopSpec = Tuple[int, bool, bool, int]
 
 
 class ClusterIndexEvaluator:
@@ -55,39 +75,90 @@ class ClusterIndexEvaluator:
         include_reverse: bool = True,
         expansion_limit: Optional[int] = 4096,
         btree_order: int = 16,
+        interned: bool = True,
     ) -> None:
         self.graph = graph
         self.include_reverse = include_reverse
         self.expansion_limit = expansion_limit
         self._btree_order = btree_order
-        self.line_graph: Optional[LineGraph] = None
-        self.join_index: Optional[JoinIndex] = None
+        self.interned = interned and isinstance(graph, SocialGraph)
+        self._line_graph: Optional[LineGraph] = None
+        self._join_index: Optional[JoinIndex] = None
+        self._index: Optional[InternedLineIndex] = None
         self.build_seconds = 0.0
         self._built = False
 
     # ---------------------------------------------------------------- build
 
     def build(self) -> "ClusterIndexEvaluator":
-        """Construct the line graph and the join index (the expensive, offline part)."""
+        """Construct the index (the expensive, offline part).
+
+        On the interned path only the dense :class:`InternedLineIndex` is
+        built here; the string-facing :class:`LineGraph` / :class:`JoinIndex`
+        views (base tables, clusters, W-table — the paper artifacts) decode
+        from it lazily on first access, so evaluation never pays for them.
+        The legacy path (``interned=False``) needs the views to match
+        queries and builds them eagerly.
+        """
         started = time.perf_counter()
-        self.line_graph = LineGraph(self.graph, include_reverse=self.include_reverse)
-        self.join_index = JoinIndex(self.line_graph, btree_order=self._btree_order).build()
-        self.build_seconds = time.perf_counter() - started
+        self._line_graph = None
+        self._join_index = None
+        if self.interned:
+            # refresh=True: an explicit build() always pays (and re-seeds)
+            # the construction, so build_seconds never times a cache hit.
+            self._index = interned_line_index(
+                self.graph, include_reverse=self.include_reverse, refresh=True
+            )
+        else:
+            self._index = None
         self._built = True
+        if not self.interned:
+            self._views()
+        self.build_seconds = time.perf_counter() - started
         return self
 
+    def _views(self) -> Tuple[LineGraph, JoinIndex]:
+        """Materialize (or return) the string-facing line graph + join index."""
+        if self._join_index is None or self._line_graph is None:
+            self._line_graph = LineGraph(self.graph, include_reverse=self.include_reverse)
+            self._join_index = JoinIndex(
+                self._line_graph, btree_order=self._btree_order
+            ).build()
+        return self._line_graph, self._join_index
+
+    @property
+    def line_graph(self) -> Optional[LineGraph]:
+        """The decoded line graph (``None`` before :meth:`build`)."""
+        if not self._built:
+            return None
+        return self._views()[0]
+
+    @property
+    def join_index(self) -> Optional[JoinIndex]:
+        """The decoded join index (``None`` before :meth:`build`)."""
+        if not self._built:
+            return None
+        return self._views()[1]
+
     def statistics(self) -> Dict[str, float]:
-        """Return index construction / size metrics."""
-        if not self._built or self.join_index is None:
+        """Return index construction / size metrics.
+
+        Size metrics include the string-facing artifacts (base-table rows,
+        W-table entries, B+-tree nodes), so this call materializes the lazy
+        :class:`LineGraph` / :class:`JoinIndex` views on the interned path.
+        The views read the *live* graph: after post-build mutations they
+        describe the current graph, while queries keep answering from the
+        snapshot captured at :meth:`build` time.
+        """
+        if not self._built:
             return {"build_seconds": 0.0, "index_entries": 0.0}
-        stats = dict(self.join_index.statistics())
+        stats = dict(self._views()[1].statistics())
         stats["build_seconds"] = self.build_seconds
         return stats
 
-    def _require_built(self) -> Tuple[LineGraph, JoinIndex]:
-        if not self._built or self.line_graph is None or self.join_index is None:
+    def _require_built(self) -> None:
+        if not self._built:
             raise IndexNotBuiltError("call build() before evaluating queries")
-        return self.line_graph, self.join_index
 
     # ------------------------------------------------------------------ api
 
@@ -100,7 +171,7 @@ class ClusterIndexEvaluator:
         collect_witness: bool = True,
     ) -> EvaluationResult:
         """Return whether ``target`` is reachable from ``source`` under ``expression``."""
-        line_graph, _join_index = self._require_built()
+        self._require_built()
         if not self.graph.has_user(source):
             raise NodeNotFoundError(source)
         if not self.graph.has_user(target):
@@ -108,15 +179,10 @@ class ClusterIndexEvaluator:
         self._check_directions(expression)
         started = time.perf_counter()
         result = EvaluationResult(reachable=False, backend=self.name)
-        for line_query in expand_line_queries(expression, limit=self.expansion_limit):
-            result.count("line_queries")
-            tuples = self._match_line_query(line_query, expression, source, target, result,
-                                            first_only=True)
-            if tuples:
-                result.reachable = True
-                if collect_witness:
-                    result.witness = self._witness(source, tuples[0])
-                break
+        if self._index is not None:
+            self._evaluate_interned(source, target, expression, result, collect_witness)
+        else:
+            self._evaluate_strings(source, target, expression, result, collect_witness)
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -124,6 +190,8 @@ class ClusterIndexEvaluator:
         """Return every user reachable from ``source`` under ``expression``."""
         self._require_built()
         self._check_directions(expression)
+        if self._index is not None:
+            return self._find_targets_interned(source, expression, {})
         result = EvaluationResult(reachable=False, backend=self.name)
         targets: Set[Hashable] = set()
         for line_query in expand_line_queries(expression, limit=self.expansion_limit):
@@ -131,6 +199,27 @@ class ClusterIndexEvaluator:
                                             first_only=False)
             targets.update(chain[-1].end for chain in tuples)
         return targets
+
+    def find_targets_many(
+        self,
+        sources: Iterable[Hashable],
+        expression: PathExpression,
+    ) -> Dict[Hashable, Set[Hashable]]:
+        """Materialize audiences for many owners in one pass over the index.
+
+        The line-query expansion and the per-(step, user) condition memo are
+        shared across owners, so a batched audience sweep parses and checks
+        each attribute condition at most once per user.
+        """
+        self._require_built()
+        self._check_directions(expression)
+        if self._index is None:
+            return {source: self.find_targets(source, expression) for source in sources}
+        condition_memo: Dict[int, bytearray] = {}
+        return {
+            source: self._find_targets_interned(source, expression, condition_memo)
+            for source in sources
+        }
 
     def _check_directions(self, expression: PathExpression) -> None:
         """A forward-only line graph cannot evaluate steps that traverse edges backwards."""
@@ -142,7 +231,240 @@ class ClusterIndexEvaluator:
                 "outgoing ('+') steps; rebuild with include_reverse=True for '-' or '*' steps"
             )
 
-    # ------------------------------------------------------------- matching
+    # ------------------------------------------------- interned matching
+
+    def _evaluate_interned(
+        self,
+        source: Hashable,
+        target: Hashable,
+        expression: PathExpression,
+        result: EvaluationResult,
+        collect_witness: bool,
+    ) -> None:
+        index = self._index
+        assert index is not None
+        # Users added after build() exist in the live graph but not in the
+        # snapshot; like the string matcher (which simply finds no line
+        # vertices for them) the stale index answers "unreachable" rather
+        # than raising.  -1 is a target sentinel no vertex endpoint matches.
+        source_index = index.snapshot.node_index.get(source)
+        target_index = index.snapshot.node_index.get(target, -1)
+        if source_index is None:
+            return
+        condition_memo: Dict[int, bytearray] = {}
+        for line_query in expand_line_queries(expression, limit=self.expansion_limit):
+            result.count("line_queries")
+            chain = self._match_interned(
+                line_query, expression, source_index, target_index, result,
+                condition_memo, witness=collect_witness,
+            )
+            if chain is not None:
+                result.reachable = True
+                if collect_witness:
+                    result.witness = Path(
+                        source, [index.traversal(vertex) for vertex in chain]
+                    )
+                break
+
+    def _find_targets_interned(
+        self,
+        source: Hashable,
+        expression: PathExpression,
+        condition_memo: Dict[int, bytearray],
+    ) -> Set[Hashable]:
+        index = self._index
+        assert index is not None
+        # The legacy matcher quietly returned an empty audience for unknown
+        # owners (no line vertex starts there); keep that behaviour.
+        source_index = index.snapshot.node_index.get(source)
+        if source_index is None:
+            return set()
+        result = EvaluationResult(reachable=False, backend=self.name)
+        user_of = index.snapshot.node_ids
+        ends = index.ends
+        targets: Set[Hashable] = set()
+        for line_query in expand_line_queries(expression, limit=self.expansion_limit):
+            finals = self._match_interned(
+                line_query, expression, source_index, None, result,
+                condition_memo, witness=False, first_only=False,
+            )
+            targets.update(user_of[ends[vertex]] for vertex in finals)
+        return targets
+
+    def _hop_specs(self, line_query: LineQuery, expression: PathExpression) -> List[_HopSpec]:
+        index = self._index
+        assert index is not None
+        label_id_of = index.snapshot.label_id
+        specs: List[_HopSpec] = []
+        for hop in line_query.hops:
+            step = expression[hop.step_index]
+            condition_step = hop.step_index if (hop.closes_step and step.conditions) else -1
+            specs.append(
+                (
+                    label_id_of(hop.label),
+                    hop.direction.allows_forward(),
+                    hop.direction.allows_backward(),
+                    condition_step,
+                )
+            )
+        return specs
+
+    def _condition_holds(
+        self,
+        step_index: int,
+        node: int,
+        expression: PathExpression,
+        memo: Dict[int, bytearray],
+    ) -> bool:
+        """Memoized per-(step, user) attribute-condition check (0/1/2 tri-state)."""
+        index = self._index
+        assert index is not None
+        states = memo.get(step_index)
+        if states is None:
+            states = memo[step_index] = bytearray(index.snapshot.number_of_nodes())
+        cached = states[node]
+        if cached:
+            return cached == 1
+        holds = expression[step_index].satisfied_by(index.snapshot.attrs[node])
+        states[node] = 1 if holds else 2
+        return holds
+
+    def _match_interned(
+        self,
+        line_query: LineQuery,
+        expression: PathExpression,
+        source: int,
+        target: Optional[int],
+        result: EvaluationResult,
+        condition_memo: Dict[int, bytearray],
+        *,
+        witness: bool,
+        first_only: bool = True,
+    ):
+        """Match one line query on the interned index.
+
+        With ``first_only`` (the ``evaluate`` form) returns the first
+        complete chain as a tuple of line-vertex ints (an empty tuple when
+        ``witness`` is off — existence is all the caller needs), or ``None``
+        when the line query has no answer.  Otherwise (the ``find_targets``
+        form) returns the deduplicated list of final tail vertices.
+        """
+        index = self._index
+        assert index is not None
+        label_ids = index.label_ids
+        dirs = index.dirs
+        ends = index.ends
+        start_offsets = index.start_offsets
+        start_vertices = index.start_vertices
+        reaches = index.reaches
+        hops = self._hop_specs(line_query, expression)
+        last = len(hops) - 1
+
+        def acceptable(position: int, vertex: int) -> bool:
+            label_id, allow_forward, allow_backward, condition_step = hops[position]
+            if label_ids[vertex] != label_id:
+                return False
+            if dirs[vertex] == FORWARD_BYTE:
+                if not allow_forward:
+                    return False
+            elif not allow_backward:
+                return False
+            if position == last and target is not None and ends[vertex] != target:
+                return False
+            if condition_step >= 0 and not self._condition_holds(
+                condition_step, ends[vertex], expression, condition_memo
+            ):
+                return False
+            return True
+
+        # Seed: line vertices leaving the owner that match the first hop
+        # (Section 3.4's "owner is the first node" endpoint check).
+        frontier = [
+            start_vertices[cursor]
+            for cursor in range(start_offsets[source], start_offsets[source + 1])
+            if acceptable(0, start_vertices[cursor])
+        ]
+        result.count("tuples_examined", len(frontier))
+        if not frontier:
+            return None if first_only else []
+        parents: Optional[List[Dict[int, int]]] = None
+        if first_only:
+            if last == 0:
+                return (frontier[0],) if witness else ()
+            if witness:
+                parents = [dict.fromkeys(frontier, -1)]
+        elif last == 0:
+            return frontier
+
+        # Tuple assembly + post-processing.  Each consecutive hop pair is a
+        # reachability condition ``label_i ⤳ label_{i+1}`` evaluated through
+        # the per-component 2-hop labels (``Lout(x) ∩ Lin(y)``, Section 3.3);
+        # the adjacency check of Section 3.4 (the tuple must describe one
+        # path) is the frontier extension itself, and tails are deduplicated
+        # per position with a byte seen-set.
+        for position in range(1, last + 1):
+            seen = bytearray(index.count)
+            next_frontier: List[int] = []
+            layer_parents: Optional[Dict[int, int]] = {} if parents is not None else None
+            for tail in frontier:
+                head = ends[tail]
+                for cursor in range(start_offsets[head], start_offsets[head + 1]):
+                    successor = start_vertices[cursor]
+                    result.count("tuples_examined")
+                    result.count("join_checks")
+                    if not reaches(tail, successor):
+                        continue
+                    if seen[successor]:
+                        continue
+                    seen[successor] = 1
+                    if not acceptable(position, successor):
+                        continue
+                    next_frontier.append(successor)
+                    if layer_parents is not None:
+                        layer_parents[successor] = tail
+                    if first_only and position == last:
+                        if not witness:
+                            return ()
+                        assert parents is not None and layer_parents is not None
+                        parents.append(layer_parents)
+                        return self._decode_chain(successor, parents)
+            frontier = next_frontier
+            if not frontier:
+                return None if first_only else []
+            if parents is not None and layer_parents is not None:
+                parents.append(layer_parents)
+        return None if first_only else frontier
+
+    @staticmethod
+    def _decode_chain(tail: int, parents: List[Dict[int, int]]) -> Tuple[int, ...]:
+        """Walk the per-position parent links back into a full vertex chain."""
+        chain = [tail]
+        current = tail
+        for layer in range(len(parents) - 1, 0, -1):
+            current = parents[layer][current]
+            chain.append(current)
+        chain.reverse()
+        return tuple(chain)
+
+    # ------------------------------------------------- legacy (string) path
+
+    def _evaluate_strings(
+        self,
+        source: Hashable,
+        target: Hashable,
+        expression: PathExpression,
+        result: EvaluationResult,
+        collect_witness: bool,
+    ) -> None:
+        for line_query in expand_line_queries(expression, limit=self.expansion_limit):
+            result.count("line_queries")
+            tuples = self._match_line_query(line_query, expression, source, target, result,
+                                            first_only=True)
+            if tuples:
+                result.reachable = True
+                if collect_witness:
+                    result.witness = self._witness(source, tuples[0])
+                break
 
     def _hop_matches(self, hop: LineHop, vertex: LineVertex) -> bool:
         if vertex.label != hop.label:
@@ -168,7 +490,7 @@ class ClusterIndexEvaluator:
         first_only: bool,
     ) -> List[Tuple[LineVertex, ...]]:
         """Return complete, post-processed tuples matching one line query."""
-        line_graph, join_index = self._require_built()
+        line_graph, join_index = self._views()
         hops = list(line_query.hops)
         last = len(hops) - 1
 

@@ -38,11 +38,15 @@ __all__ = [
     "CompiledSearchMixin",
     "SearchOutcome",
     "product_search",
+    "audience_sweep",
 ]
 
 #: A packed CSR edge as stored in parent links: (rel source, rel target,
 #: label id, traversed forward?).
 _Edge = Tuple[int, int, int, bool]
+
+#: One CSR adjacency half: (offsets, targets) arrays.
+CSR_PAIR = Tuple[Sequence[int], Sequence[int]]
 
 
 class CompiledAutomaton:
@@ -139,6 +143,10 @@ class CompiledAutomaton:
         memo[node] = 1 if holds else 2
         return holds
 
+    def static_closures(self) -> List[Optional[Tuple[int, ...]]]:
+        """Per-state precomputed closures (``None`` where conditions gate the chain)."""
+        return self._static_closure
+
     def closure(self, state: int, node: int) -> Sequence[int]:
         """Return ``state`` plus every state reachable by spontaneous advances."""
         static = self._static_closure[state]
@@ -223,6 +231,23 @@ class CompiledSearchMixin:
             collect_witness=collect_witness,
             depth_first=self._depth_first,
         )
+
+
+    def _compiled_find_targets_many(
+        self,
+        sources: Sequence[UserId],
+        expression: PathExpression,
+    ) -> Dict[UserId, Set[UserId]]:
+        """Batched ``find_targets``: one automaton compile, one sweep per owner."""
+        snapshot = compile_graph(self.graph)
+        automaton = self._automata.get(expression, snapshot)
+        indices = [snapshot.index_of(source) for source in sources]
+        user_of = snapshot.node_ids
+        audiences = audience_sweep(snapshot, automaton, indices)
+        return {
+            source: {user_of[node] for node in accepted}
+            for source, accepted in zip(sources, audiences)
+        }
 
 
 class SearchOutcome:
@@ -367,3 +392,82 @@ def product_search(
     if edges_expanded:
         result.count("edges_expanded", edges_expanded)
     return SearchOutcome(snapshot, source, accepted, parents)
+
+
+def audience_sweep(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    sources: Sequence[int],
+) -> List[List[int]]:
+    """Materialize the accepted node set of every owner in ``sources``.
+
+    The batched form of the ``find_targets`` product walk: the automaton is
+    compiled once (its per-(step, node) condition memo is shared by every
+    owner), each owner's walk keeps its frontier in a plain int list and its
+    visited / accepted markers in ``bytearray`` seen-sets — no per-state
+    hashing, no witness bookkeeping.  Distance limits are enforced by the
+    automaton's depth-encoded states, exactly as in :func:`product_search`.
+
+    Returns one list of accepted node indices per source, in input order.
+    """
+    num_states = automaton.num_states
+    accept_id = automaton.accept_id
+    closure = automaton.closure
+    node_count = snapshot.number_of_nodes()
+
+    # Hoisted once for the whole batch (the payoff of batching): per-state
+    # CSR selections (direction checks and label lookups leave the edge
+    # loop) and the precomputed spontaneous-advance chains of states whose
+    # steps carry no attribute conditions.
+    state_moves: List[List[CSR_PAIR]] = []
+    for state in range(num_states):
+        moves: List[CSR_PAIR] = []
+        if automaton.can_more[state]:
+            label_id = automaton.label_of[state]
+            if automaton.allow_fwd[state]:
+                moves.append(snapshot.forward(label_id))
+            if automaton.allow_bwd[state]:
+                moves.append(snapshot.backward(label_id))
+        state_moves.append(moves)
+    static_closure = automaton.static_closures()
+
+    audiences: List[List[int]] = []
+    for source in sources:
+        visited = bytearray(node_count * num_states)
+        is_accepted = bytearray(node_count)
+        accepted: List[int] = []
+        frontier: List[int] = []
+        for state in closure(automaton.start_id, source):
+            key = source * num_states + state
+            if not visited[key]:
+                visited[key] = 1
+                frontier.append(key)
+                if state == accept_id and not is_accepted[source]:
+                    is_accepted[source] = 1
+                    accepted.append(source)
+        while frontier:
+            key = frontier.pop()
+            node, state = divmod(key, num_states)
+            moves = state_moves[state]
+            if not moves:
+                continue
+            next_state = state + 1
+            next_static = static_closure[next_state]
+            for offsets, targets in moves:
+                for position in range(offsets[node], offsets[node + 1]):
+                    neighbor = targets[position]
+                    base = neighbor * num_states
+                    chain = next_static if next_static is not None else closure(
+                        next_state, neighbor
+                    )
+                    for closed in chain:
+                        neighbor_key = base + closed
+                        if visited[neighbor_key]:
+                            continue
+                        visited[neighbor_key] = 1
+                        frontier.append(neighbor_key)
+                        if closed == accept_id and not is_accepted[neighbor]:
+                            is_accepted[neighbor] = 1
+                            accepted.append(neighbor)
+        audiences.append(accepted)
+    return audiences

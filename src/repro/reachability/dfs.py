@@ -87,6 +87,15 @@ class OnlineDFSEvaluator(CompiledSearchMixin):
             return outcome.users()
         return set(self._search(source, expression, result, stop_at=None, collect_witness=False))
 
+    def find_targets_many(self, sources, expression: PathExpression):
+        """Batched :meth:`find_targets`: one compiled automaton, one sweep per owner.
+
+        Returns ``{owner: audience}`` for every owner in ``sources``.
+        """
+        if self.compiled:
+            return self._compiled_find_targets_many(list(sources), expression)
+        return {source: self.find_targets(source, expression) for source in sources}
+
     # ------------------------------------------------- legacy (dict) search
 
     def _search(

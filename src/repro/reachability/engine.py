@@ -215,6 +215,53 @@ class ReachabilityEngine:
         self._cache_put(self._targets_cache, key, frozenset(targets))
         return targets
 
+    def find_targets_many(
+        self,
+        sources: Iterable[Hashable],
+        expression: Union[str, PathExpression],
+    ) -> Dict[Hashable, Set[Hashable]]:
+        """Materialize audiences for many owners at once.
+
+        The batched form of :meth:`find_targets`: backends exposing
+        ``find_targets_many`` (all four do over a :class:`SocialGraph`)
+        compile their per-expression machinery once and sweep each owner on
+        dense frontier arrays; other evaluators fall back to a per-owner
+        loop.  The epoch-stamped target-set memo is consulted per owner, so
+        a warm cache only recomputes the missing owners.
+        """
+        expression = self._parse(expression)
+        sources = list(dict.fromkeys(sources))
+        if not self._cache_ready():
+            return self._dispatch_targets_many(sources, expression)
+        text = expression.to_text()
+        audiences: Dict[Hashable, Set[Hashable]] = {}
+        missing: List[Hashable] = []
+        for source in sources:
+            cached = self._targets_cache.get((source, text))
+            if cached is not None:
+                self._targets_cache.move_to_end((source, text))
+                self.cache_hits += 1
+                audiences[source] = set(cached)
+            else:
+                missing.append(source)
+        if missing:
+            self.cache_misses += len(missing)
+            computed = self._dispatch_targets_many(missing, expression)
+            for source, targets in computed.items():
+                self._cache_put(self._targets_cache, (source, text), frozenset(targets))
+                audiences[source] = targets
+        return audiences
+
+    def _dispatch_targets_many(
+        self,
+        sources: List[Hashable],
+        expression: PathExpression,
+    ) -> Dict[Hashable, Set[Hashable]]:
+        batched = getattr(self._evaluator, "find_targets_many", None)
+        if batched is not None:
+            return batched(sources, expression)
+        return {source: self._evaluator.find_targets(source, expression) for source in sources}
+
     def statistics(self) -> Dict[str, float]:
         """Return the backend's index statistics (size, build time...)."""
         stats = dict(self._evaluator.statistics())

@@ -23,7 +23,7 @@ postorder↑ / intervals↑ from G2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import ReachabilityError
 from repro.reachability.scc import Condensation, condense
@@ -96,73 +96,95 @@ class IntervalLabeling:
     # ---------------------------------------------------------------- build
 
     def _build(self) -> None:
-        predecessors: Dict[Hashable, List[Hashable]] = {node: [] for node in self._adjacency}
-        for node, successors in self._adjacency.items():
-            for successor in successors:
-                predecessors[successor].append(node)
+        """Intern nodes onto topological positions; label on positional arrays.
+
+        The node universe is interned in topological order (positions =
+        ``self._order`` indexes), the predecessor lists become one CSR pair,
+        and every per-node table below is a plain list — node objects are
+        only touched for the deterministic string tie-breaks and for the
+        final decode into the public dicts.
+        """
+        order = self._order
+        count = len(order)
+        position = {node: index for index, node in enumerate(order)}
+        predecessors: List[List[int]] = [[] for _ in range(count)]
+        successors: List[List[int]] = [[] for _ in range(count)]
+        for node, adjacent in self._adjacency.items():
+            source = position[node]
+            for successor in adjacent:
+                target = position[successor]
+                successors[source].append(target)
+                predecessors[target].append(source)
 
         # Ancestor counts, used to pick "the incoming edge that has the least
         # number of predecessors" for the tree cover.
-        ancestor_counts = self._ancestor_counts(predecessors)
+        ancestor_counts = [0] * count
+        bitsets = [0] * count
+        for index in range(count):
+            bits = 0
+            for parent in predecessors[index]:
+                bits |= bitsets[parent] | (1 << parent)
+            bitsets[index] = bits
+            ancestor_counts[index] = bin(bits).count("1")
 
-        tree_children: Dict[Hashable, List[Hashable]] = {node: [] for node in self._adjacency}
-        for node in self._order:
-            parents = predecessors[node]
+        tree_parent: List[Optional[int]] = [None] * count
+        tree_children: List[List[int]] = [[] for _ in range(count)]
+        for index in range(count):
+            parents = predecessors[index]
             if not parents:
-                self.tree_parent[node] = None
                 continue
-            chosen = min(parents, key=lambda parent: (ancestor_counts[parent], str(parent)))
-            self.tree_parent[node] = chosen
-            tree_children[chosen].append(node)
+            chosen = min(parents, key=lambda parent: (ancestor_counts[parent], str(order[parent])))
+            tree_parent[index] = chosen
+            tree_children[chosen].append(index)
 
         # Postorder numbering over the tree cover (a forest).
         counter = 0
-        subtree_low: Dict[Hashable, int] = {}
-        roots = [node for node in self._order if self.tree_parent[node] is None]
-        for root in roots:
-            counter = self._assign_postorder(root, tree_children, counter, subtree_low)
+        postorder = [0] * count
+        subtree_low = [0] * count
+        for root in range(count):
+            if tree_parent[root] is None:
+                counter = self._assign_postorder(
+                    root, tree_children, counter, postorder, subtree_low
+                )
 
         # Tree intervals, then non-tree propagation in reverse topological order.
-        for node in self._adjacency:
-            self.intervals[node] = [(subtree_low[node], self.postorder[node])]
-        for node in reversed(self._order):
-            collected = list(self.intervals[node])
-            for successor in self._adjacency[node]:
-                collected.extend(self.intervals[successor])
-            self.intervals[node] = _merge_intervals(collected)
+        intervals: List[List[Interval]] = [
+            [(subtree_low[index], postorder[index])] for index in range(count)
+        ]
+        for index in range(count - 1, -1, -1):
+            collected = list(intervals[index])
+            for successor in successors[index]:
+                collected.extend(intervals[successor])
+            intervals[index] = _merge_intervals(collected)
 
-    def _ancestor_counts(self, predecessors: Dict[Hashable, List[Hashable]]) -> Dict[Hashable, int]:
-        position = {node: index for index, node in enumerate(self._order)}
-        ancestors: Dict[Hashable, int] = {}
-        bitsets: Dict[Hashable, int] = {}
-        for node in self._order:
-            bits = 0
-            for parent in predecessors[node]:
-                bits |= bitsets[parent] | (1 << position[parent])
-            bitsets[node] = bits
-            ancestors[node] = bin(bits).count("1")
-        return ancestors
+        for index, node in enumerate(order):
+            parent = tree_parent[index]
+            self.tree_parent[node] = None if parent is None else order[parent]
+            self.postorder[node] = postorder[index]
+            self.intervals[node] = intervals[index]
 
     def _assign_postorder(
         self,
-        root: Hashable,
-        tree_children: Dict[Hashable, List[Hashable]],
+        root: int,
+        tree_children: List[List[int]],
         counter: int,
-        subtree_low: Dict[Hashable, int],
+        postorder: List[int],
+        subtree_low: List[int],
     ) -> int:
         # Iterative postorder: (node, visited-flag) stack.
-        stack: List[Tuple[Hashable, bool]] = [(root, False)]
+        order = self._order
+        stack: List[Tuple[int, bool]] = [(root, False)]
         while stack:
-            node, processed = stack.pop()
+            index, processed = stack.pop()
             if processed:
                 counter += 1
-                self.postorder[node] = counter
-                children = tree_children[node]
+                postorder[index] = counter
+                children = tree_children[index]
                 lows = [subtree_low[child] for child in children]
-                subtree_low[node] = min(lows + [counter])
+                subtree_low[index] = min(lows + [counter])
                 continue
-            stack.append((node, True))
-            for child in sorted(tree_children[node], key=str, reverse=True):
+            stack.append((index, True))
+            for child in sorted(tree_children[index], key=lambda c: str(order[c]), reverse=True):
                 stack.append((child, False))
         return counter
 

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
+from repro.graph.social_graph import SocialGraph
+from repro.reachability.interned import InternedLineIndex, interned_line_index
 from repro.reachability.linegraph import LineGraph, LineVertex
 from repro.reachability.twohop import TwoHopIndex
 from repro.storage.btree import BPlusTree
@@ -83,6 +85,7 @@ class JoinIndex:
         self.line_graph = line_graph
         self._btree_order = btree_order
         self.two_hop: Optional[TwoHopIndex] = None
+        self.interned: Optional[InternedLineIndex] = None
         self.catalog = Catalog("base-tables")
         self.cluster_index: BPlusTree = BPlusTree(order=btree_order)
         self.w_table: Dict[Tuple[LabelKey, LabelKey], FrozenSet[str]] = {}
@@ -94,10 +97,27 @@ class JoinIndex:
     # ---------------------------------------------------------------- build
 
     def build(self) -> "JoinIndex":
-        """Compute the 2-hop labeling, fill the base tables, clusters and W-table."""
+        """Compute the 2-hop labeling, fill the base tables, clusters and W-table.
+
+        Over a :class:`SocialGraph` the labeling comes from the snapshot's
+        :class:`InternedLineIndex` — SCC condensation and 2-hop cover run on
+        dense int arrays and only the per-component representative names are
+        decoded into the string-facing base tables, clusters and W-table.
+        That shortcut requires the line graph to still describe the live
+        graph (same epoch); a stale line graph — or a duck-typed graph —
+        falls back to the generic string pipeline, which only reads the
+        line graph itself.
+        """
         started = time.perf_counter()
-        self.two_hop = TwoHopIndex(self.line_graph.adjacency())
-        self._build_labels()
+        graph = self.line_graph.graph
+        if isinstance(graph, SocialGraph) and self.line_graph.epoch == graph.epoch:
+            self.interned = interned_line_index(
+                graph, include_reverse=self.line_graph.include_reverse
+            )
+            self._build_labels_interned()
+        else:
+            self.two_hop = TwoHopIndex(self.line_graph.adjacency())
+            self._build_labels()
         self._build_base_tables()
         self._build_clusters()
         self._build_w_table()
@@ -113,6 +133,24 @@ class JoinIndex:
                 frozenset(str(center) for center in label.lin),
                 frozenset(str(center) for center in label.lout),
             )
+
+    def _build_labels_interned(self) -> None:
+        assert self.interned is not None
+        interned = self.interned
+        representatives = interned.representative_names()
+        # One shared frozenset of decoded center names per component — every
+        # member vertex points at the same two objects.
+        lin_names = [
+            frozenset(representatives[center] for center in interned.comp_lin[comp])
+            for comp in range(interned.comp_count)
+        ]
+        lout_names = [
+            frozenset(representatives[center] for center in interned.comp_lout[comp])
+            for comp in range(interned.comp_count)
+        ]
+        for vertex in range(interned.count):
+            comp = interned.comp_of[vertex]
+            self._labels[interned.vertex_id(vertex)] = (lin_names[comp], lout_names[comp])
 
     def _table_name(self, key: LabelKey) -> str:
         label, direction = key
@@ -237,13 +275,17 @@ class JoinIndex:
     def statistics(self) -> Dict[str, float]:
         """Return size / construction metrics for the index benchmarks."""
         self._require_built()
-        assert self.two_hop is not None
+        if self.interned is not None:
+            labeling_size = self.interned.labeling_size()
+        else:
+            assert self.two_hop is not None
+            labeling_size = self.two_hop.labeling_size()
         internal, leaves = self.cluster_index.node_count()
         return {
             "build_seconds": self.build_seconds,
             "line_vertices": float(self.line_graph.number_of_vertices()),
             "line_edges": float(self.line_graph.number_of_edges()),
-            "index_entries": float(self.two_hop.labeling_size()),
+            "index_entries": float(labeling_size),
             "centers": float(len(self.cluster_index)),
             "w_table_entries": float(sum(1 for centers in self.w_table.values() if centers)),
             "base_table_rows": float(self.catalog.total_rows()),

@@ -66,6 +66,10 @@ class LineGraph:
     def __init__(self, graph: SocialGraph, *, include_reverse: bool = True) -> None:
         self.graph = graph
         self.include_reverse = include_reverse
+        #: the graph epoch this line graph was derived at; consumers deriving
+        #: further structure (the join index) compare it against the live
+        #: epoch to decide whether snapshot-based shortcuts are still valid
+        self.epoch = getattr(graph, "epoch", None)
         self._vertices: Dict[str, LineVertex] = {}
         self._adjacency: Dict[str, Set[str]] = {}
         self._by_start: Dict[Hashable, List[str]] = {}
@@ -86,15 +90,19 @@ class LineGraph:
             self._add_vertex(rel, FORWARD, rel.source, rel.target)
             if self.include_reverse:
                 self._add_vertex(rel, REVERSE, rel.target, rel.source)
-        # Adjacency: the end of one traversal is the start of the next.  On a
+        # Adjacency: the end of one traversal is the start of the next.  A
+        # vertex may succeed *itself* when it is a self-loop traversal
+        # (``a -[r]-> a``): walking the loop twice in a row is a real path,
+        # and excluding it made the cluster index disagree with the BFS
+        # oracle on queries that need the same self-loop edge twice.  On a
         # SocialGraph the assembly runs on the compiled snapshot's dense node
         # indices, which makes the key observation cheap: every line vertex
-        # ending at the same user has the *same* successor set (unless it
-        # also starts there, the self-loop case), so one canonical set per
-        # end-user is built and shared instead of one per vertex — turning
-        # the O(in-degree x out-degree) set inserts of the naive loop into
-        # O(distinct end-users x out-degree).  The sets are never mutated
-        # after construction (the public accessors copy), so sharing is safe.
+        # ending at the same user has the *same* successor set, so one
+        # canonical set per end-user is built and shared instead of one per
+        # vertex — turning the O(in-degree x out-degree) set inserts of the
+        # naive loop into O(distinct end-users x out-degree).  The sets are
+        # never mutated after construction (the public accessors copy), so
+        # sharing is safe.
         if isinstance(self.graph, SocialGraph) and self._vertices:
             index_of = compile_graph(self.graph).node_index
             vertices = list(self._vertices.values())
@@ -106,12 +114,6 @@ class LineGraph:
                 starting[node].append(position)
             shared: Dict[int, Set[str]] = {}
             for position, node in enumerate(end_at):
-                if start_at[position] == node:
-                    # Vertex loops back to its own start user: exclude itself.
-                    self._adjacency[ids[position]] = {
-                        ids[succ] for succ in starting[node] if succ != position
-                    }
-                    continue
                 successors = shared.get(node)
                 if successors is None:
                     successors = shared[node] = {ids[succ] for succ in starting[node]}
@@ -120,8 +122,7 @@ class LineGraph:
         for vertex in self._vertices.values():
             targets = self._adjacency[vertex.vertex_id]
             for next_id in self._by_start.get(vertex.end, ()):  # noqa: B023 - plain loop
-                if next_id != vertex.vertex_id:
-                    targets.add(next_id)
+                targets.add(next_id)
 
     def _add_vertex(self, rel: Relationship, direction: str, start: Hashable, end: Hashable) -> None:
         vertex_id = self.vertex_id_for(rel, direction)

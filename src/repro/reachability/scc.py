@@ -7,31 +7,30 @@ This transformation will not cause any loss of reachability information,
 given that any two nodes in the same SCC are necessarily reachable.  The
 algorithm for determining SCCs is Tarjan's algorithm."
 
-The implementation works on a plain adjacency mapping (``node -> iterable of
+The public API works on a plain adjacency mapping (``node -> iterable of
 successors``) so that it can be applied to the line graph, to the social
-graph, or to any directed graph in tests.  Tarjan's algorithm is implemented
-iteratively — the line graphs of large social networks easily exceed
-Python's recursion limit.
+graph, or to any directed graph in tests.  Internally the nodes are interned
+to dense ints and the work is done by the iterative CSR Tarjan of
+:mod:`repro.reachability.interned` — the line graphs of large social
+networks easily exceed Python's recursion limit, and the dense core avoids
+hashing arbitrary node objects on every edge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Set
+
+from repro.graph.compiled import build_csr
+from repro.reachability.interned import tarjan_scc_dense
 
 __all__ = ["strongly_connected_components", "Condensation", "condense"]
 
 Adjacency = Mapping[Hashable, Iterable[Hashable]]
 
 
-def strongly_connected_components(adjacency: Adjacency) -> List[List[Hashable]]:
-    """Return the SCCs of a directed graph (Tarjan's algorithm, iteratively).
-
-    The input maps each node to its successors; nodes appearing only as
-    successors are included automatically.  Components are returned in
-    reverse topological order (a component appears before any component it
-    can reach is *not* guaranteed; use :func:`condense` when order matters).
-    """
+def _intern_nodes(adjacency: Adjacency) -> List[Hashable]:
+    """Collect the node universe: mapping keys first, then successor-only nodes."""
     nodes: List[Hashable] = list(adjacency)
     known: Set[Hashable] = set(nodes)
     for successors in adjacency.values():
@@ -39,52 +38,29 @@ def strongly_connected_components(adjacency: Adjacency) -> List[List[Hashable]]:
             if successor not in known:
                 known.add(successor)
                 nodes.append(successor)
+    return nodes
 
-    index_counter = 0
-    indices: Dict[Hashable, int] = {}
-    lowlinks: Dict[Hashable, int] = {}
-    on_stack: Set[Hashable] = set()
-    stack: List[Hashable] = []
-    components: List[List[Hashable]] = []
 
-    for root in nodes:
-        if root in indices:
-            continue
-        # Each work-stack entry is (node, iterator over its successors).
-        work: List[Tuple[Hashable, Iterable]] = [(root, iter(adjacency.get(root, ())))]
-        indices[root] = lowlinks[root] = index_counter
-        index_counter += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, successors = work[-1]
-            advanced = False
-            for successor in successors:
-                if successor not in indices:
-                    indices[successor] = lowlinks[successor] = index_counter
-                    index_counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append((successor, iter(adjacency.get(successor, ()))))
-                    advanced = True
-                    break
-                if successor in on_stack:
-                    lowlinks[node] = min(lowlinks[node], indices[successor])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
-            if lowlinks[node] == indices[node]:
-                component: List[Hashable] = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
-                        break
-                components.append(component)
+def strongly_connected_components(adjacency: Adjacency) -> List[List[Hashable]]:
+    """Return the SCCs of a directed graph (Tarjan's algorithm, iteratively).
+
+    The input maps each node to its successors; nodes appearing only as
+    successors are included automatically.  Components are returned in
+    Tarjan emission order (a component appears before any component that can
+    reach it); use :func:`condense` when a condensation DAG is needed.
+    """
+    nodes = _intern_nodes(adjacency)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    pairs = [
+        (index_of[node], index_of[successor])
+        for node, successors in adjacency.items()
+        for successor in successors
+    ]
+    offsets, targets = build_csr(pairs, len(nodes))
+    comp_of, comp_count = tarjan_scc_dense(len(nodes), offsets, targets)
+    components: List[List[Hashable]] = [[] for _ in range(comp_count)]
+    for index, node in enumerate(nodes):
+        components[comp_of[index]].append(node)
     return components
 
 

@@ -264,6 +264,14 @@ class TransitiveClosureEvaluator:
             raise IndexNotBuiltError("call build() before evaluating queries")
         return self._bfs.find_targets(source, expression)
 
+    def find_targets_many(
+        self, sources, expression: PathExpression
+    ) -> Dict[Hashable, Set[Hashable]]:
+        """Batched :meth:`find_targets`, delegated to the constrained BFS sweep."""
+        if not self._built:
+            raise IndexNotBuiltError("call build() before evaluating queries")
+        return self._bfs.find_targets_many(sources, expression)
+
     # ---------------------------------------------------------------- prune
 
     def _prune(self, source: Hashable, target: Hashable, expression: PathExpression) -> bool:

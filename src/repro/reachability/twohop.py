@@ -22,10 +22,11 @@ tables and all the property-based tests depend on.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set
 
-from repro.exceptions import ReachabilityError
+from repro.graph.compiled import build_csr
+from repro.reachability.interned import dag_reachability_bitsets, two_hop_cover_dense
 from repro.reachability.interval import topological_order
 from repro.reachability.scc import Condensation, condense
 
@@ -67,76 +68,42 @@ class TwoHopCover:
     # ---------------------------------------------------------------- build
 
     def _build(self) -> None:
+        """Intern nodes onto topological positions and run the dense cover core.
+
+        Candidate centers keep the historical deterministic order — greedy
+        coverage descending, ties broken by the node's string form — so the
+        produced cover is byte-identical to the pre-interning implementation.
+        """
         started = time.perf_counter()
-        descendants = self._descendant_bitsets()
-        ancestors = self._ancestor_bitsets()
-        bit_of = {node: 1 << self._position[node] for node in self._order}
-        node_of = {self._position[node]: node for node in self._order}
+        order = self._order
+        position = self._position
+        count = len(order)
+        pairs = [
+            (position[node], position[successor])
+            for node, successors in self._adjacency.items()
+            for successor in successors
+        ]
+        offsets, targets = build_csr(pairs, count)
+        topo = range(count)
+        bitsets = dag_reachability_bitsets(count, offsets, targets, topo)
+        _positions, descendants, ancestors = bitsets
 
-        # Remaining uncovered (u, v) pairs, as a bitset of targets per source.
-        uncovered: Dict[Hashable, int] = {node: descendants[node] for node in self._order}
-
-        def coverage(node: Hashable) -> int:
-            a = bin(ancestors[node]).count("1") + 1
-            d = bin(descendants[node]).count("1") + 1
+        def coverage(index: int) -> int:
+            a = bin(ancestors[index]).count("1") + 1
+            d = bin(descendants[index]).count("1") + 1
             return a * d
 
-        candidates = sorted(self._order, key=lambda node: (-coverage(node), str(node)))
-        for center in candidates:
-            reach_down = descendants[center] | bit_of[center]
-            reach_up = ancestors[center] | bit_of[center]
-            newly_covered = 0
-            sources: List[Hashable] = []
-            remaining = reach_up
-            while remaining:
-                low_bit = remaining & -remaining
-                remaining ^= low_bit
-                source = node_of[low_bit.bit_length() - 1]
-                needed = uncovered[source] & reach_down
-                if needed:
-                    sources.append(source)
-                    newly_covered |= needed
-            if not sources:
-                continue
-            self.centers.append(center)
-            for source in sources:
-                self.lout[source].add(center)
-                uncovered[source] &= ~newly_covered
-            targets = newly_covered
-            while targets:
-                low_bit = targets & -targets
-                targets ^= low_bit
-                self.lin[node_of[low_bit.bit_length() - 1]].add(center)
-        # Safety net: the single pass above covers everything because every
-        # node is offered as a center; assert the invariant in debug runs.
-        leftover = [node for node in self._order if uncovered[node]]
-        if leftover:
-            raise ReachabilityError(
-                f"2-hop cover construction left {len(leftover)} vertices uncovered"
-            )
+        candidates = sorted(
+            range(count), key=lambda index: (-coverage(index), str(order[index]))
+        )
+        lin, lout, centers = two_hop_cover_dense(
+            count, offsets, targets, topo, candidates, bitsets
+        )
+        self.centers = [order[index] for index in centers]
+        for index, node in enumerate(order):
+            self.lin[node] = {order[center] for center in lin[index]}
+            self.lout[node] = {order[center] for center in lout[index]}
         self.build_seconds = time.perf_counter() - started
-
-    def _descendant_bitsets(self) -> Dict[Hashable, int]:
-        bitsets: Dict[Hashable, int] = {}
-        for node in reversed(self._order):
-            bits = 0
-            for successor in self._adjacency[node]:
-                bits |= bitsets[successor] | (1 << self._position[successor])
-            bitsets[node] = bits
-        return bitsets
-
-    def _ancestor_bitsets(self) -> Dict[Hashable, int]:
-        predecessors: Dict[Hashable, List[Hashable]] = {node: [] for node in self._adjacency}
-        for node, successors in self._adjacency.items():
-            for successor in successors:
-                predecessors[successor].append(node)
-        bitsets: Dict[Hashable, int] = {}
-        for node in self._order:
-            bits = 0
-            for parent in predecessors[node]:
-                bits |= bitsets[parent] | (1 << self._position[parent])
-            bitsets[node] = bits
-        return bitsets
 
     # -------------------------------------------------------------- queries
 

@@ -1,0 +1,155 @@
+"""Seeded random-graph differential harness: all four backends must agree.
+
+The safety net for the interned cluster-index refactor: deterministic
+``random``-seeded graphs (including self-loops, parallel multi-label edges
+and disconnected components) and random path expressions are thrown at every
+backend — ``bfs`` (the oracle), ``dfs``, ``transitive-closure`` and
+``cluster-index`` (both the interned default and the legacy string-id
+matcher) — and each must return exactly the oracle's ``evaluate`` decisions
+and ``find_targets`` audiences.
+
+With ``GRAPH_SEEDS`` x ``EXPRESSIONS_PER_GRAPH`` the harness covers 250
+seeded (graph, expression) cases; every graph with an even seed is forced to
+contain at least one self-loop, exercising the fixed line-graph
+self-succession semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.dfs import OnlineDFSEvaluator
+from repro.reachability.transitive_closure import TransitiveClosureEvaluator
+from repro.workloads.queries import random_expression
+
+LABELS = ("friend", "colleague", "parent")
+GRAPH_SEEDS = range(25)
+EXPRESSIONS_PER_GRAPH = 10
+EVALUATE_PAIRS_PER_EXPRESSION = 4
+AUDIENCE_SOURCES_PER_EXPRESSION = 3
+
+
+def random_social_graph(rng: random.Random) -> SocialGraph:
+    """A small random labelled graph with the awkward shapes the index must survive.
+
+    * **self-loops** — each user may relate to itself;
+    * **multi-label edges** — several labels between the same ordered pair;
+    * **disconnected components** — edge counts low enough that isolated
+      users and separate islands appear regularly.
+    """
+    graph = SocialGraph(name="differential")
+    count = rng.randint(3, 9)
+    users = [f"u{i}" for i in range(count)]
+    for user in users:
+        graph.add_user(
+            user,
+            age=rng.randint(10, 70),
+            gender=rng.choice(["female", "male"]),
+        )
+    edge_budget = rng.randint(0, 2 * count)
+    for _ in range(edge_budget):
+        source = rng.choice(users)
+        # Self-loops with real probability; rng.random() keeps determinism.
+        target = source if rng.random() < 0.15 else rng.choice(users)
+        label = rng.choice(LABELS)
+        if not graph.has_relationship(source, target, label):
+            graph.add_relationship(source, target, label)
+    return graph
+
+
+def _force_self_loop(graph: SocialGraph, rng: random.Random) -> None:
+    users = sorted(graph.users())
+    user = rng.choice(users)
+    label = rng.choice(LABELS)
+    if not graph.has_relationship(user, user, label):
+        graph.add_relationship(user, user, label)
+
+
+@pytest.mark.parametrize("seed", GRAPH_SEEDS)
+def test_backends_agree_on_seeded_random_cases(seed):
+    rng = random.Random(1000 + seed)
+    graph = random_social_graph(rng)
+    if seed % 2 == 0:
+        _force_self_loop(graph, rng)
+
+    oracle = OnlineBFSEvaluator(graph)
+    contenders = {
+        "dfs": OnlineDFSEvaluator(graph),
+        "transitive-closure": TransitiveClosureEvaluator(graph).build(),
+        "cluster-index": ClusterIndexEvaluator(graph).build(),
+        "cluster-index-strings": ClusterIndexEvaluator(graph, interned=False).build(),
+    }
+    users = sorted(graph.users())
+
+    for _case in range(EXPRESSIONS_PER_GRAPH):
+        expression = random_expression(
+            rng, LABELS, max_steps=2, max_depth=2, condition_probability=0.3
+        )
+        for _pair in range(EVALUATE_PAIRS_PER_EXPRESSION):
+            source = rng.choice(users)
+            target = rng.choice(users)
+            expected = oracle.evaluate(
+                source, target, expression, collect_witness=False
+            ).reachable
+            for name, backend in contenders.items():
+                got = backend.evaluate(
+                    source, target, expression, collect_witness=False
+                ).reachable
+                assert got == expected, (
+                    seed, name, source, target, expression.to_text()
+                )
+        for _sweep in range(AUDIENCE_SOURCES_PER_EXPRESSION):
+            source = rng.choice(users)
+            expected_targets = oracle.find_targets(source, expression)
+            for name, backend in contenders.items():
+                assert backend.find_targets(source, expression) == expected_targets, (
+                    seed, name, source, expression.to_text()
+                )
+
+
+def test_case_budget_meets_the_acceptance_floor():
+    """The harness must cover at least 200 seeded (graph, expression) cases."""
+    assert len(GRAPH_SEEDS) * EXPRESSIONS_PER_GRAPH >= 200
+
+
+def test_self_loop_double_traversal_regression():
+    """Seed bug: a query needing the same self-loop edge twice must agree with BFS.
+
+    The string line graph used to forbid a vertex from succeeding itself, so
+    the tuple <loop, loop> was unrepresentable and ``cluster-index`` denied
+    queries the BFS oracle granted.
+    """
+    graph = SocialGraph()
+    for user in ("a", "b"):
+        graph.add_user(user, age=30)
+    graph.add_relationship("a", "a", "friend")
+    graph.add_relationship("a", "b", "friend")
+
+    oracle = OnlineBFSEvaluator(graph)
+    from repro.policy.path_expression import PathExpression
+
+    for interned in (True, False):
+        cluster = ClusterIndexEvaluator(graph, interned=interned).build()
+        for text in ("friend+[2]", "friend+[2,3]", "friend*[3]", "friend+[1,4]"):
+            expression = PathExpression.parse(text)
+            for source in ("a", "b"):
+                for target in ("a", "b"):
+                    assert (
+                        cluster.evaluate(source, target, expression,
+                                         collect_witness=False).reachable
+                        == oracle.evaluate(source, target, expression,
+                                           collect_witness=False).reachable
+                    ), (interned, text, source, target)
+                assert cluster.find_targets(source, expression) == oracle.find_targets(
+                    source, expression
+                ), (interned, text, source)
+    # The doubled self-loop itself must be reachable, with a two-step witness.
+    cluster = ClusterIndexEvaluator(graph).build()
+    result = cluster.evaluate("a", "a", PathExpression.parse("friend+[2]"))
+    assert result.reachable
+    assert result.witness is not None and result.witness.nodes() == ["a", "a", "a"]

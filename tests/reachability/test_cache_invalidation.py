@@ -1,0 +1,159 @@
+"""Cache-invalidation edge coverage: epochs, the attribute caveat, cache_size=0.
+
+The contract under test (ROADMAP "Cache-invalidation contract"):
+
+* every mutating :class:`SocialGraph` method bumps ``graph.epoch``;
+* derived state (compiled snapshots, the engine's decision / target-set
+  memos) records its build epoch and rebuilds when the epoch moves;
+* writing through the live mapping returned by ``graph.attributes(u)`` is
+  the documented loophole — it does **not** bump the epoch, so cached
+  decisions may go stale until ``update_user`` is used;
+* ``cache_size=0`` disables the decision memo entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.compiled import compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.reachability.engine import ReachabilityEngine
+
+
+def two_user_graph() -> SocialGraph:
+    graph = SocialGraph()
+    graph.add_user("a", age=30)
+    graph.add_user("b", age=40)
+    graph.add_relationship("a", "b", "friend")
+    return graph
+
+
+class TestEveryMutatorBumpsTheEpoch:
+    def test_add_user(self):
+        graph = SocialGraph()
+        before = graph.epoch
+        graph.add_user("a")
+        assert graph.epoch == before + 1
+
+    def test_ensure_user_bumps_only_on_change(self):
+        graph = SocialGraph()
+        graph.ensure_user("a", age=30)
+        after_add = graph.epoch
+        graph.ensure_user("a")  # already present, nothing merged
+        assert graph.epoch == after_add
+        graph.ensure_user("a", age=31)  # attribute merge is a mutation
+        assert graph.epoch == after_add + 1
+
+    def test_update_user(self):
+        graph = two_user_graph()
+        before = graph.epoch
+        graph.update_user("a", age=31)
+        assert graph.epoch == before + 1
+
+    def test_remove_user(self):
+        graph = two_user_graph()
+        before = graph.epoch
+        graph.remove_user("b")
+        assert graph.epoch > before
+
+    def test_add_relationship(self):
+        graph = two_user_graph()
+        before = graph.epoch
+        graph.add_relationship("b", "a", "colleague")
+        assert graph.epoch == before + 1
+
+    def test_reciprocal_add_bumps_for_each_edge(self):
+        graph = two_user_graph()
+        before = graph.epoch
+        graph.add_relationship("a", "b", "colleague", reciprocal=True)
+        assert graph.epoch == before + 2
+
+    def test_remove_relationship(self):
+        graph = two_user_graph()
+        before = graph.epoch
+        graph.remove_relationship("a", "b", "friend")
+        assert graph.epoch == before + 1
+
+
+class TestSnapshotFollowsTheEpoch:
+    def test_snapshot_is_reused_between_mutations(self):
+        graph = two_user_graph()
+        assert compile_graph(graph) is compile_graph(graph)
+
+    def test_snapshot_rebuilds_after_any_mutation(self):
+        graph = two_user_graph()
+        snapshot = compile_graph(graph)
+        graph.add_user("c")
+        rebuilt = compile_graph(graph)
+        assert rebuilt is not snapshot
+        assert snapshot.is_stale() and not rebuilt.is_stale()
+
+    def test_derived_indexes_die_with_their_snapshot(self):
+        graph = two_user_graph()
+        snapshot = compile_graph(graph)
+        snapshot.derived["probe"] = object()
+        graph.add_relationship("b", "a", "friend")
+        assert "probe" not in compile_graph(graph).derived
+
+
+class TestAttributeWriteThroughCaveat:
+    """``graph.attributes(u)`` hands out the live dict: reads stay correct,
+    cached decisions go stale, and ``update_user`` is the sanctioned fix."""
+
+    def test_decision_memo_staleness_and_update_user_recovery(self):
+        graph = two_user_graph()
+        engine = ReachabilityEngine(graph, "bfs")
+        expression = "friend+[1]{age >= 40}"
+        assert engine.is_reachable("a", "b", expression)
+
+        # Write-through: no epoch bump, so the cached GRANT keeps serving.
+        graph.attributes("b")["age"] = 10
+        assert graph.epoch == compile_graph(graph).epoch
+        assert engine.is_reachable("a", "b", expression)  # stale, documented
+
+        # update_user bumps the epoch and the memo re-evaluates honestly.
+        graph.update_user("b", age=10)
+        assert not engine.is_reachable("a", "b", expression)
+
+    def test_condition_memo_staleness_even_without_the_decision_memo(self):
+        graph = two_user_graph()
+        engine = ReachabilityEngine(graph, "bfs", cache_size=0)
+        expression = "friend+[1]{age >= 40}"
+        assert engine.is_reachable("a", "b", expression)
+        graph.attributes("b")["age"] = 10
+        # cache_size=0 only disables the engine's decision memo; the compiled
+        # automaton's per-(step, node) condition memo is epoch-scoped too, so
+        # the written-through value stays invisible — the caveat in full.
+        assert engine.is_reachable("a", "b", expression)
+        graph.update_user("b", age=10)  # epoch bump drops the condition memo
+        assert not engine.is_reachable("a", "b", expression)
+
+    def test_target_set_memo_invalidated_by_mutation(self):
+        graph = two_user_graph()
+        engine = ReachabilityEngine(graph, "bfs")
+        assert engine.find_targets("a", "friend+[1,2]") == {"b"}
+        graph.add_user("c")
+        graph.add_relationship("b", "c", "friend")
+        assert engine.find_targets("a", "friend+[1,2]") == {"b", "c"}
+        assert engine.find_targets_many(["a", "b"], "friend+[1,2]") == {
+            "a": {"b", "c"},
+            "b": {"c"},
+        }
+
+
+class TestCacheSizeZeroDisablesTheMemo:
+    @pytest.mark.parametrize("backend", ["bfs", "dfs"])
+    def test_no_entries_are_ever_stored(self, backend):
+        graph = two_user_graph()
+        engine = ReachabilityEngine(graph, backend, cache_size=0)
+        for _ in range(3):
+            assert engine.is_reachable("a", "b", "friend+[1]")
+            assert engine.find_targets("a", "friend+[1]") == {"b"}
+            assert engine.find_targets_many(["a", "b"], "friend+[1]") == {
+                "a": {"b"},
+                "b": set(),
+            }
+        info = engine.cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["decisions"] == 0 and info["target_sets"] == 0
+        assert info["max_size"] == 0

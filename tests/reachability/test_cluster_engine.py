@@ -157,3 +157,33 @@ class TestSmallGraphs:
         assert evaluator.evaluate("a", "b", expr("friend")).reachable
         assert not evaluator.evaluate("b", "a", expr("friend")).reachable
         assert evaluator.evaluate("b", "a", expr("friend-[1]")).reachable
+
+    @pytest.mark.parametrize("interned", [True, False])
+    def test_self_loop_traversed_twice(self, interned):
+        """Regression (seed bug): a self-loop edge may be walked repeatedly."""
+        graph = GraphBuilder().relate("a", "a", "friend").build()
+        evaluator = ClusterIndexEvaluator(graph, interned=interned).build()
+        assert evaluator.evaluate("a", "a", expr("friend+[2]")).reachable
+        assert evaluator.evaluate("a", "a", expr("friend+[3]")).reachable
+        assert evaluator.find_targets("a", expr("friend+[2]")) == {"a"}
+
+    @pytest.mark.parametrize("interned", [True, False])
+    def test_users_added_after_build_answer_stale_not_crash(self, interned):
+        """Offline index semantics: post-build users are unknown, not errors."""
+        graph = GraphBuilder().relate("a", "b", "friend").build()
+        evaluator = ClusterIndexEvaluator(graph, interned=interned).build()
+        graph.add_user("c")
+        graph.add_relationship("c", "a", "friend")
+        assert not evaluator.evaluate("c", "b", expr("friend+[1,2]")).reachable
+        assert not evaluator.evaluate("a", "c", expr("friend+[1]")).reachable
+        assert evaluator.find_targets("c", expr("friend+[1]")) == set()
+
+    def test_interned_flag_off_still_matches_interned_results(self, figure1):
+        interned = ClusterIndexEvaluator(figure1).build()
+        strings = ClusterIndexEvaluator(figure1, interned=False).build()
+        for text in ["friend+[1,2]", "friend+[1]/parent+[1]", "friend*[1,2]"]:
+            expression = expr(text)
+            for source in figure1.users():
+                assert interned.find_targets(source, expression) == strings.find_targets(
+                    source, expression
+                ), (text, source)

@@ -105,6 +105,14 @@ class TestEdgeCases:
         assert line_graph.number_of_vertices() == 1
         assert line_graph.number_of_edges() == 0
 
+    def test_self_loop_vertex_succeeds_itself(self):
+        """A self-loop traversal ends where it starts, so it may repeat."""
+        graph = GraphBuilder().relate("a", "a", "friend").relate("a", "b", "friend").build()
+        line_graph = LineGraph(graph, include_reverse=False)
+        assert line_graph.are_adjacent("friend:a->a", "friend:a->a")
+        assert line_graph.are_adjacent("friend:a->a", "friend:a->b")
+        assert not line_graph.are_adjacent("friend:a->b", "friend:a->b")
+
     def test_has_vertex(self, figure1):
         line_graph = LineGraph(figure1, include_reverse=False)
         assert line_graph.has_vertex("friend:Alice->Colin")
