@@ -1,4 +1,4 @@
-"""PERF-3 — access-control enforcement throughput (decisions per second).
+"""PERF-3 / PERF-8 — access-control enforcement and audience throughput.
 
 End-to-end measurement of the system the paper describes in its problem
 statement: requests are intercepted, the stored rules are looked up, and each
@@ -6,6 +6,12 @@ access condition is evaluated as a reachability query.  A fixed workload
 (synthetic scale-free graph, scenario-based rules, a stream of random
 requests) is replayed through the AccessControlEngine on every backend and
 the decision throughput is reported.
+
+PERF-8 drives the workload generator's **bulk_audience scenario**: grouped
+``authorized_audiences`` requests are answered three ways — a per-resource
+``authorized_audience`` loop, the grouped sweep pinned to the per-owner
+``"batched"`` baseline, and the grouped multi-source owner-bitset sweep —
+and the three modes are reported side by side (they must agree exactly).
 """
 
 from __future__ import annotations
@@ -23,7 +29,15 @@ _SERIES = MetricSeries(
     ["backend", "users", "rules", "requests", "decisions_per_second", "grant_rate"],
 )
 
-SPEC = WorkloadSpec(users=300, owners=8, rules_per_owner=2, requests=120, seed=91)
+_AUDIENCE_SERIES = MetricSeries(
+    "PERF-8 — bulk audience materialization modes (bfs backend)",
+    ["mode", "batches", "batch_size", "seconds", "audiences_per_second", "speedup"],
+)
+
+SPEC = WorkloadSpec(
+    users=300, owners=8, rules_per_owner=2, requests=120, seed=91,
+    audience_batches=6, audience_batch_size=8,
+)
 _WORKLOAD = None
 _ENGINES = {}
 
@@ -107,7 +121,58 @@ def test_enforcement_throughput_memoized(benchmark):
     assert engine.reachability.cache_info()["hits"] > 0
 
 
+def test_bulk_audience_modes(benchmark):
+    """PERF-8: per-resource loop vs grouped batched vs grouped multi-source."""
+    workload = _workload()
+    engine = _engine("bfs")  # cache_size=0: every mode pays its own sweeps
+    batches = workload.audience_requests
+    assert batches, "the workload spec must emit a bulk_audience scenario"
+
+    def per_resource():
+        return [
+            {rid: engine.authorized_audience(rid) for rid in batch}
+            for batch in batches
+        ]
+
+    def bulk(direction):
+        return [
+            engine.authorized_audiences(batch, direction=direction)
+            for batch in batches
+        ]
+
+    modes = {
+        "per-resource loop": per_resource,
+        "bulk batched (PR 2)": lambda: bulk("batched"),
+        "bulk multi-source": lambda: bulk("auto"),
+    }
+    results = {}
+    timings = {}
+    for mode, run in modes.items():
+        with Timer() as timer:
+            results[mode] = run()
+        timings[mode] = timer.elapsed
+    # The three modes must materialize identical audiences.
+    assert results["per-resource loop"] == results["bulk batched (PR 2)"]
+    assert results["per-resource loop"] == results["bulk multi-source"]
+
+    audiences = sum(len(batch) for batch in batches)
+    baseline = timings["per-resource loop"]
+    for mode, seconds in timings.items():
+        _AUDIENCE_SERIES.add(
+            mode=mode,
+            batches=len(batches),
+            batch_size=len(batches[0]),
+            seconds=seconds,
+            audiences_per_second=audiences / seconds if seconds else float("inf"),
+            speedup=round(baseline / seconds, 2) if seconds else float("inf"),
+        )
+    benchmark.pedantic(lambda: bulk("auto"), rounds=3, iterations=1)
+    assert engine.last_audience_plans  # the planner ran and was recorded
+
+
 def test_zzz_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     record_table("perf3_access_throughput", _SERIES.to_table())
+    record_table("perf8_audience_modes", _AUDIENCE_SERIES.to_table())
     assert len(_SERIES.rows) == len(available_backends()) + 1
+    assert len(_AUDIENCE_SERIES.rows) == 3

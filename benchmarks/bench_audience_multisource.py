@@ -1,0 +1,192 @@
+"""PERF-7 — multi-source owner-bitset audience sweep vs the PR 2 batched sweep.
+
+The PR 2 batched sweep (``audience_sweep_batched``) hoists the per-state CSR
+selections out of the edge loop but still walks one ``(owner, automaton)``
+product per owner, so on frontier-heavy expressions every owner re-expands
+nearly the same neighbourhood.  The multi-source sweep (``audience_sweep``)
+keeps an owner bitmask per ``(node, state)`` slot and propagates *new* bits
+only, so overlapping owner frontiers are traversed once; a direction planner
+additionally chooses between sweeping forward from the owners and backward
+from the whole vertex set over the reversed automaton.
+
+The experiment measures, on the 5000-user scalability graph (300 users in
+``BENCH_SMOKE=1`` mode, the CI smoke job), for each expression and owner
+count:
+
+1. the PR 2 batched sweep (baseline);
+2. the multi-source sweep pinned forward and pinned reverse;
+3. the planner's ``auto`` choice (the acceptance row: >= 3x over the
+   baseline at 5000 users with >= 64 owners).
+
+All variants must materialize identical audiences.  Artifacts:
+``benchmarks/results/BENCH_audience_multisource.json`` and
+``perf7_audience_multisource.txt``.  Runnable directly:
+``PYTHONPATH=src python benchmarks/bench_audience_multisource.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.graph.compiled import compile_graph
+from repro.graph.generators import preferential_attachment_graph
+from repro.policy.path_expression import PathExpression
+from repro.reachability.compiled_search import (
+    AutomatonCache,
+    audience_sweep,
+    audience_sweep_batched,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+SIZE = 300 if SMOKE else 5000
+OWNER_COUNTS = (16,) if SMOKE else (64, 128, 256)
+
+#: Frontier-heavy audience policies — the shapes the ROADMAP open item named
+#: (`*`-direction walks, deep friend balls) with the selective accepts real
+#: rules have (a rare final label, an attribute threshold).  Per owner the
+#: product walk explores a large, heavily shared neighbourhood and accepts a
+#: modest audience, which is exactly where per-owner re-expansion hurts.
+EXPRESSIONS = (
+    "friend*[1,4]{age >= 60}",
+    "friend+[1,5]/parent+[1]",
+    "friend*[1,4]/colleague+[1]",
+    "friend*[1,3]/parent+[1]{age >= 40}",
+)
+
+#: Full-size acceptance floor for the planner's auto choice at >= 64 owners.
+SPEEDUP_TARGET = 3.0
+
+
+def _timed(function):
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+def run_benchmark() -> dict:
+    graph = preferential_attachment_graph(SIZE, edges_per_node=3, seed=71)
+    snapshot = compile_graph(graph)
+    automata = AutomatonCache()
+    node_count = snapshot.number_of_nodes()
+
+    # Owners are the active users whose audiences are worth materializing in
+    # bulk — the highest-degree hubs.  Their frontiers overlap the most,
+    # which is the regime the multi-source sweep exists for (and the regime
+    # where the per-owner baseline degrades linearly).
+    by_degree = sorted(
+        range(node_count),
+        key=lambda node: -(snapshot.out_degree(node) + snapshot.in_degree(node)),
+    )
+
+    rows = []
+    for text in EXPRESSIONS:
+        expression = PathExpression.parse(text)
+        automaton = automata.get(expression, snapshot)
+        for owner_count in OWNER_COUNTS:
+            owners = by_degree[: min(owner_count, node_count)]
+
+            batched_seconds, batched = _timed(
+                lambda: audience_sweep_batched(snapshot, automaton, owners)
+            )
+            forward_seconds, forward = _timed(
+                lambda: audience_sweep(snapshot, automaton, owners, direction="forward")
+            )
+            reverse_seconds, reverse = _timed(
+                lambda: audience_sweep(snapshot, automaton, owners, direction="reverse")
+            )
+            auto_seconds, auto = _timed(
+                lambda: audience_sweep(snapshot, automaton, owners)
+            )
+
+            # Every variant must materialize identical audiences.
+            reference = [set(audience) for audience in batched]
+            for name, sweep in (("forward", forward), ("reverse", reverse), ("auto", auto)):
+                got = [set(audience) for audience in sweep.audiences]
+                assert got == reference, (text, owner_count, name)
+
+            rows.append(
+                {
+                    "expression": text,
+                    "owners": len(owners),
+                    "audience_nodes": sum(len(a) for a in reference),
+                    "batched_seconds": batched_seconds,
+                    "forward_seconds": forward_seconds,
+                    "reverse_seconds": reverse_seconds,
+                    "auto_seconds": auto_seconds,
+                    "auto_direction": auto.plan.direction,
+                    "planned_forward_cost": auto.plan.forward_cost,
+                    "planned_reverse_cost": auto.plan.reverse_cost,
+                    "speedup_auto": batched_seconds / auto_seconds,
+                    "speedup_forward": batched_seconds / forward_seconds,
+                    "speedup_reverse": batched_seconds / reverse_seconds,
+                }
+            )
+
+    return {
+        "experiment": "PERF-7 multi-source owner-bitset audience sweep",
+        "smoke": SMOKE,
+        "users": graph.number_of_users(),
+        "relationships": graph.number_of_relationships(),
+        "owner_counts": list(OWNER_COUNTS),
+        "speedup_target": SPEEDUP_TARGET,
+        "rows": rows,
+    }
+
+
+def _format_table(summary: dict) -> str:
+    lines = [
+        "PERF-7 — multi-source owner-bitset audience sweep vs PR 2 batched",
+        f"graph: {summary['users']} users, {summary['relationships']} relationships"
+        + (" (SMOKE)" if summary["smoke"] else ""),
+        "",
+        f"{'expression':<28} {'owners':>6} {'batched s':>10} {'multi s':>8} "
+        f"{'speedup':>8} {'plan':>8}",
+        "-" * 74,
+    ]
+    for row in summary["rows"]:
+        lines.append(
+            f"{row['expression']:<28} {row['owners']:>6} "
+            f"{row['batched_seconds']:>10.3f} {row['auto_seconds']:>8.3f} "
+            f"{row['speedup_auto']:>7.1f}x {row['auto_direction']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _meets_target(summary: dict) -> bool:
+    relevant = [row for row in summary["rows"] if row["owners"] >= 64]
+    return bool(relevant) and all(
+        row["speedup_auto"] >= SPEEDUP_TARGET for row in relevant
+    )
+
+
+def test_multisource_sweep_beats_the_batched_baseline():
+    summary = run_benchmark()
+    table = _format_table(summary)
+    print()
+    print(table)
+    if SMOKE:
+        return  # agreement already asserted; ratios are noise at smoke size
+    assert _meets_target(summary), summary["rows"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    summary = run_benchmark()
+    table = _format_table(summary)
+    print()
+    print(table)
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_audience_multisource.json").write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
+        (RESULTS_DIR / "perf7_audience_multisource.txt").write_text(
+            table + "\n", encoding="utf-8"
+        )
+    sys.exit(0 if (summary["smoke"] or _meets_target(summary)) else 1)

@@ -13,15 +13,17 @@ Public entry points:
 """
 
 from repro.graph.builder import GraphBuilder, graph_from_edges
-from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.compiled import CompiledGraph, LabelDegreeStats, compile_graph
 from repro.graph.paths import Path, Traversal, is_adjacent_chain, path_from_nodes
-from repro.graph.social_graph import Relationship, SocialGraph
+from repro.graph.social_graph import AttributeMap, Relationship, SocialGraph
 from repro.graph.views import GraphView, label_view, trust_view, user_filter_view
 
 __all__ = [
     "SocialGraph",
     "Relationship",
+    "AttributeMap",
     "CompiledGraph",
+    "LabelDegreeStats",
     "compile_graph",
     "GraphBuilder",
     "graph_from_edges",

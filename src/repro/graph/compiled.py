@@ -31,10 +31,12 @@ from __future__ import annotations
 from array import array
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from dataclasses import dataclass
+
 from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import Relationship, SocialGraph, UserId
 
-__all__ = ["CompiledGraph", "build_csr", "compile_graph"]
+__all__ = ["CompiledGraph", "LabelDegreeStats", "build_csr", "compile_graph"]
 
 #: CSR adjacency: ``targets[offsets[u]:offsets[u + 1]]`` are ``u``'s neighbours.
 CSR = Tuple[array, array]
@@ -64,6 +66,23 @@ def build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
         targets[cursor[source]] = target
         cursor[source] += 1
     return offsets, targets
+
+
+@dataclass(frozen=True)
+class LabelDegreeStats:
+    """Degree statistics of one relationship label at snapshot time.
+
+    ``mean_degree`` is edges over nodes (identical for the out and in sides
+    — every edge has one source and one target); the max degrees expose
+    hubs.  The audience direction planner consumes these to estimate
+    forward-vs-reverse sweep fan-out.
+    """
+
+    label: str
+    edges: int
+    mean_degree: float
+    max_out_degree: int
+    max_in_degree: int
 
 
 class CompiledGraph:
@@ -204,6 +223,42 @@ class CompiledGraph:
         """Return the number of CSR entries for one label (or distinct node pairs)."""
         offsets, _targets = self.forward(label_id)
         return offsets[-1]
+
+    def degree_statistics(self) -> Tuple[LabelDegreeStats, ...]:
+        """Per-label degree statistics, indexed by label id.
+
+        Computed once per snapshot (one O(|V|) offset scan per label) and
+        cached in :attr:`derived`, so epoch-based invalidation is inherited.
+        The audience direction planner reads these to decide forward vs
+        reverse sweeps.
+        """
+        stats: Optional[Tuple[LabelDegreeStats, ...]] = self.derived.get(
+            "degree_statistics"
+        )
+        if stats is None:
+            node_count = max(1, len(self.node_ids))
+            rows = []
+            for label_id, label in enumerate(self.labels):
+                offsets, _targets = self._forward[label_id]
+                reverse_offsets, _sources = self._backward[label_id]
+                edges = offsets[-1]
+                max_out = max(
+                    (offsets[i + 1] - offsets[i] for i in range(len(offsets) - 1)),
+                    default=0,
+                )
+                max_in = max(
+                    (
+                        reverse_offsets[i + 1] - reverse_offsets[i]
+                        for i in range(len(reverse_offsets) - 1)
+                    ),
+                    default=0,
+                )
+                rows.append(
+                    LabelDegreeStats(label, edges, edges / node_count, max_out, max_in)
+                )
+            stats = tuple(rows)
+            self.derived["degree_statistics"] = stats
+        return stats
 
     # --------------------------------------------------------------- witness
 

@@ -34,7 +34,7 @@ def to_json(graph: SocialGraph, *, indent: int = 2) -> str:
     """Serialize the graph to a JSON string."""
     document = {
         "name": graph.name,
-        "users": {str(user): graph.attributes(user) for user in graph.users()},
+        "users": {str(user): dict(graph.attributes(user)) for user in graph.users()},
         "relationships": [
             {
                 "source": str(rel.source),

@@ -22,6 +22,7 @@ helpers to/from networkx are provided for interoperability and testing.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -41,9 +42,78 @@ from repro.exceptions import (
     NodeNotFoundError,
 )
 
-__all__ = ["Relationship", "SocialGraph"]
+__all__ = ["AttributeMap", "Relationship", "SocialGraph", "raw_attributes_getter"]
 
 UserId = Hashable
+
+
+def raw_attributes_getter(graph):
+    """Return the cheapest read-only attribute accessor ``graph`` offers.
+
+    The traversal hot paths read attributes once per visited node; this
+    resolves :meth:`SocialGraph.raw_attributes` (no per-call
+    :class:`AttributeMap` allocation) when the graph provides it and falls
+    back to ``graph.attributes`` for duck-typed graphs that do not.  The
+    returned callable is meant to be hoisted out of the loop, and its
+    results must be treated as read-only.
+    """
+    raw = getattr(graph, "raw_attributes", None)
+    return raw if raw is not None else graph.attributes
+
+
+class AttributeMap(MutableMapping):
+    """A live, mutable view of one user's attribute tuple ``nu(v)``.
+
+    Returned by :meth:`SocialGraph.attributes`.  Reads delegate straight to
+    the canonical per-node dict, so they are always current; every mutation
+    (item assignment / deletion and the :class:`MutableMapping` methods
+    built on them — ``update``, ``pop``, ``setdefault``, ``clear``) bumps
+    the owning graph's ``epoch``, invalidating compiled snapshots' condition
+    memos and the engine's decision caches exactly like
+    :meth:`SocialGraph.update_user` does.  This closes the historical
+    write-through loophole where attribute writes left stale cached
+    decisions behind.
+    """
+
+    __slots__ = ("_graph", "_data")
+
+    def __init__(self, graph: "SocialGraph", data: Dict[str, Any]) -> None:
+        self._graph = graph
+        self._data = data
+
+    # Reads delegate without touching the epoch.
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    # Writes are real graph mutations: bump the epoch.
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._graph._epoch += 1
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+        self._graph._epoch += 1
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeMap):
+            return self._data == other._data
+        return self._data == other
+
+    __hash__ = None  # mutable mapping
+
+    def __repr__(self) -> str:
+        return repr(self._data)
 
 
 @dataclass(frozen=True)
@@ -110,11 +180,10 @@ class SocialGraph:
         """A version stamp bumped by every mutation.
 
         Derived structures (compiled snapshots, decision caches) record the
-        epoch they were built at and rebuild lazily when it moves on.  Only
-        mutations through the public API bump it; writing through the live
-        mapping returned by :meth:`attributes` does not (use
-        :meth:`update_user` for attribute changes that must invalidate
-        caches).
+        epoch they were built at and rebuild lazily when it moves on.  Every
+        mutation path bumps it — the structural methods here as well as
+        writes through the live :class:`AttributeMap` returned by
+        :meth:`attributes`.
         """
         return self._epoch
 
@@ -164,8 +233,24 @@ class SocialGraph:
         """Iterate over all user ids."""
         return iter(self._nodes)
 
-    def attributes(self, user: UserId) -> Dict[str, Any]:
-        """Return the attribute mapping ``nu(user)`` (a live reference)."""
+    def attributes(self, user: UserId) -> AttributeMap:
+        """Return the attribute mapping ``nu(user)`` (a live, epoch-aware view).
+
+        Reads see current values without any copying; writes through the
+        returned :class:`AttributeMap` bump the mutation :attr:`epoch` so
+        cached decisions and condition memos are invalidated, same as
+        :meth:`update_user`.
+        """
+        return AttributeMap(self, self._nodes[self._require(user)])
+
+    def raw_attributes(self, user: UserId) -> Dict[str, Any]:
+        """Return the raw attribute dict of ``user`` — read-only by convention.
+
+        The traversal hot paths use this to avoid allocating an epoch-aware
+        :class:`AttributeMap` per visited node.  Callers must not write
+        through the returned dict (that would bypass epoch bookkeeping);
+        mutate via :meth:`attributes` or :meth:`update_user` instead.
+        """
         return self._nodes[self._require(user)]
 
     def attribute(self, user: UserId, name: str, default: Any = None) -> Any:

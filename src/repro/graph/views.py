@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, Optional
 
-from repro.graph.social_graph import Relationship, SocialGraph, UserId
+from repro.graph.social_graph import (
+    AttributeMap,
+    Relationship,
+    SocialGraph,
+    UserId,
+    raw_attributes_getter,
+)
 
 __all__ = ["GraphView", "label_view", "trust_view", "user_filter_view"]
 
@@ -43,26 +49,34 @@ class GraphView:
     def has_user(self, user: UserId) -> bool:
         """Return whether the user exists and passes the user filter."""
         return self._graph.has_user(user) and self._keep_user(
-            user, self._graph.attributes(user)
+            user, self.raw_attributes(user)
         )
 
     def users(self) -> Iterator[UserId]:
         """Iterate over visible users."""
         for user in self._graph.users():
-            if self._keep_user(user, self._graph.attributes(user)):
+            if self._keep_user(user, self.raw_attributes(user)):
                 yield user
 
-    def attributes(self, user: UserId) -> Dict[str, Any]:
-        """Return the attributes of a visible user."""
+    def attributes(self, user: UserId) -> AttributeMap:
+        """Return the attributes of a visible user (a live, epoch-aware view).
+
+        Like :meth:`SocialGraph.attributes`, writes through the returned
+        mapping bump the underlying graph's epoch.
+        """
         return self._graph.attributes(user)
+
+    def raw_attributes(self, user: UserId) -> Dict[str, Any]:
+        """Raw read-only attribute dict (see :meth:`SocialGraph.raw_attributes`)."""
+        return raw_attributes_getter(self._graph)(user)
 
     # --------------------------------------------------------- relationships
 
     def _visible(self, rel: Relationship) -> bool:
         return (
             self._keep_relationship(rel)
-            and self._keep_user(rel.source, self._graph.attributes(rel.source))
-            and self._keep_user(rel.target, self._graph.attributes(rel.target))
+            and self._keep_user(rel.source, self.raw_attributes(rel.source))
+            and self._keep_user(rel.target, self.raw_attributes(rel.target))
         )
 
     def relationships(self) -> Iterator[Relationship]:

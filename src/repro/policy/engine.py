@@ -51,6 +51,10 @@ class AccessControlEngine:
         self.reachability = ReachabilityEngine(graph, backend, **backend_options)
         self.default_effect = default_effect
         self.audit_log = audit_log
+        #: Executed sweep plans of the most recent :meth:`authorized_audiences`
+        #: call, keyed by expression text — benchmarks read the planner's
+        #: forward/reverse choices here.
+        self.last_audience_plans: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ api
 
@@ -135,25 +139,32 @@ class AccessControlEngine:
         """Return the subset of ``candidates`` that may access the resource."""
         return {user for user in candidates if self.is_allowed(user, resource_id)}
 
-    def authorized_audience(self, resource_id: Hashable) -> Set[Hashable]:
+    def authorized_audience(
+        self, resource_id: Hashable, *, direction: str = "auto"
+    ) -> Set[Hashable]:
         """Materialize the full audience of a resource (every authorized user).
 
         Computed from the owner outwards with ``find_targets``, which is much
         cheaper than testing every user of the network individually.
         """
-        return self.authorized_audiences([resource_id])[resource_id]
+        return self.authorized_audiences([resource_id], direction=direction)[resource_id]
 
     def authorized_audiences(
         self,
         resource_ids: Iterable[Hashable],
+        *,
+        direction: str = "auto",
     ) -> Dict[Hashable, Set[Hashable]]:
         """Materialize the audiences of many resources in one bulk pass.
 
         Access conditions across every requested resource are grouped by
         path expression and each group is answered by one
-        :meth:`ReachabilityEngine.find_targets_many` sweep (the batched
-        audience materialization: one compiled automaton per distinct
-        expression, shared across all owners), then recombined per rule.
+        :meth:`ReachabilityEngine.find_targets_many` call — a single
+        multi-source owner-bitset sweep shared by every owner of the group —
+        then recombined per rule.  ``direction`` pins the sweep planner
+        (forward from the owners, reverse from the whole vertex set, or the
+        per-owner ``"batched"`` baseline); the executed plans are recorded
+        in :attr:`last_audience_plans` keyed by expression text.
         """
         resource_ids = list(dict.fromkeys(resource_ids))
         rules_of = {rid: self.store.rules_for(rid) for rid in resource_ids}
@@ -169,9 +180,16 @@ class AccessControlEngine:
                         entry = sweeps[text] = (condition.path, {})
                     entry[1][condition.owner] = None
         audience_of: Dict[Tuple[str, Hashable], Set[Hashable]] = {}
+        self.last_audience_plans = {}
         for text, (path, owners) in sweeps.items():
-            for owner, targets in self.reachability.find_targets_many(owners, path).items():
+            computed = self.reachability.find_targets_many(
+                owners, path, direction=direction
+            )
+            for owner, targets in computed.items():
                 audience_of[(text, owner)] = targets
+            plan = self.reachability.last_sweep_plan
+            if plan is not None:
+                self.last_audience_plans[text] = plan
         audiences: Dict[Hashable, Set[Hashable]] = {}
         for resource_id in resource_ids:
             resource = self.store.resource(resource_id)

@@ -11,11 +11,17 @@ from repro.reachability.automaton import AutomatonState, StepAutomaton
 from repro.reachability.bfs import OnlineBFSEvaluator
 from repro.reachability.cluster_engine import ClusterIndexEvaluator
 from repro.reachability.compiled_search import (
+    AudienceSweep,
     AutomatonCache,
     CompiledAutomaton,
     SearchOutcome,
+    SweepPlan,
     audience_sweep,
+    audience_sweep_batched,
+    plan_audience_sweep,
     product_search,
+    reversed_automaton,
+    reversed_expression,
 )
 from repro.reachability.dfs import OnlineDFSEvaluator
 from repro.reachability.engine import (
@@ -48,8 +54,14 @@ __all__ = [
     "AutomatonCache",
     "CompiledAutomaton",
     "SearchOutcome",
+    "SweepPlan",
+    "AudienceSweep",
     "product_search",
     "audience_sweep",
+    "audience_sweep_batched",
+    "plan_audience_sweep",
+    "reversed_expression",
+    "reversed_automaton",
     "InternedLineIndex",
     "interned_line_index",
     "OnlineBFSEvaluator",

@@ -29,7 +29,7 @@ from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.paths import Path, Traversal
-from repro.graph.social_graph import SocialGraph
+from repro.graph.social_graph import SocialGraph, raw_attributes_getter
 from repro.policy.path_expression import PathExpression
 from repro.reachability.automaton import AutomatonState, StepAutomaton
 from repro.reachability.compiled_search import AutomatonCache, CompiledSearchMixin
@@ -98,13 +98,23 @@ class OnlineBFSEvaluator(CompiledSearchMixin):
             return outcome.users()
         return set(self._search(source, expression, result, stop_at=None, collect_witness=False))
 
-    def find_targets_many(self, sources, expression: PathExpression):
-        """Batched :meth:`find_targets`: one compiled automaton, one sweep per owner.
+    def find_targets_many(self, sources, expression: PathExpression, *,
+                          direction: str = "auto"):
+        """Batched :meth:`find_targets`: one automaton, one shared owner sweep.
+
+        The compiled path runs the multi-source owner-bitset sweep
+        (:func:`~repro.reachability.compiled_search.audience_sweep`);
+        ``direction`` pins the planner's forward/reverse choice (or selects
+        the per-owner ``"batched"`` baseline) and the executed plan is
+        recorded on ``self.last_sweep_plan``.  The legacy dict path ignores
+        ``direction`` and loops per owner.
 
         Returns ``{owner: audience}`` for every owner in ``sources``.
         """
         if self.compiled:
-            return self._compiled_find_targets_many(list(sources), expression)
+            return self._compiled_find_targets_many(
+                list(sources), expression, direction=direction
+            )
         return {source: self.find_targets(source, expression) for source in sources}
 
     # ------------------------------------------------- legacy (dict) search
@@ -143,7 +153,9 @@ class OnlineBFSEvaluator(CompiledSearchMixin):
             if automaton.is_accepting(state) and user not in accepted:
                 accepted[user] = self._reconstruct(node, parents) if collect_witness else None
 
-        for state in automaton.closure(automaton.start_state, self.graph.attributes(source)):
+        # Raw dict reads in the hot loop (no per-node AttributeMap views).
+        attributes_of = raw_attributes_getter(self.graph)
+        for state in automaton.closure(automaton.start_state, attributes_of(source)):
             enqueue(source, state, None, None)
 
         while queue:
@@ -159,7 +171,7 @@ class OnlineBFSEvaluator(CompiledSearchMixin):
             )
             for next_user, traversal in moves:
                 result.count("edges_expanded")
-                attributes = self.graph.attributes(next_user)
+                attributes = attributes_of(next_user)
                 for closed in automaton.closure(next_state, attributes):
                     enqueue(next_user, closed, (user, state), traversal)
         return accepted

@@ -47,13 +47,19 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.exceptions import IndexNotBuiltError, NodeNotFoundError
 from repro.graph.paths import Path, Traversal
-from repro.graph.social_graph import SocialGraph
+from repro.graph.social_graph import SocialGraph, raw_attributes_getter
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction
+from repro.reachability.compiled_search import AutomatonCache, audience_sweep
 from repro.reachability.interned import FORWARD_BYTE, InternedLineIndex, interned_line_index
 from repro.reachability.join_index import JoinIndex
 from repro.reachability.linegraph import FORWARD, LineGraph, LineVertex
-from repro.reachability.query import LineHop, LineQuery, expand_line_queries
+from repro.reachability.query import (
+    LineHop,
+    LineQuery,
+    check_expansion_limit,
+    expand_line_queries,
+)
 from repro.reachability.result import EvaluationResult
 
 __all__ = ["ClusterIndexEvaluator"]
@@ -67,6 +73,10 @@ class ClusterIndexEvaluator:
     """Index-backed evaluator (line graph + 2-hop cover + cluster join index)."""
 
     name = "cluster-index"
+
+    #: Executed :class:`~repro.reachability.compiled_search.SweepPlan` of the
+    #: most recent batched audience sweep (``None`` before the first one).
+    last_sweep_plan = None
 
     def __init__(
         self,
@@ -85,6 +95,15 @@ class ClusterIndexEvaluator:
         self._line_graph: Optional[LineGraph] = None
         self._join_index: Optional[JoinIndex] = None
         self._index: Optional[InternedLineIndex] = None
+        # Compiled automata for the batched audience sweep.  The build-time
+        # snapshot's structure is frozen, but its attribute dicts are live
+        # (shared with the graph), so the cache — whose automata memoize
+        # per-(step, node) condition outcomes — must be invalidated on the
+        # *live* graph epoch, not the snapshot's frozen one; that keeps
+        # find_targets_many's condition reads exactly as fresh as the
+        # per-owner matcher's (which builds a new memo every call).
+        self._audience_automata = AutomatonCache()
+        self._audience_epoch: Optional[int] = None
         self.build_seconds = 0.0
         self._built = False
 
@@ -204,22 +223,55 @@ class ClusterIndexEvaluator:
         self,
         sources: Iterable[Hashable],
         expression: PathExpression,
+        *,
+        direction: str = "auto",
     ) -> Dict[Hashable, Set[Hashable]]:
-        """Materialize audiences for many owners in one pass over the index.
+        """Materialize audiences for many owners in one multi-source sweep.
 
-        The line-query expansion and the per-(step, user) condition memo are
-        shared across owners, so a batched audience sweep parses and checks
-        each attribute condition at most once per user.
+        On the interned path the sweep runs the shared owner-bitset product
+        walk (:func:`~repro.reachability.compiled_search.audience_sweep`)
+        over the index's **build-time snapshot**, so the stale-read
+        semantics match the per-owner :meth:`find_targets` exactly: owners
+        added after :meth:`build` (absent from the snapshot) get an empty
+        audience instead of raising, and post-build mutations stay
+        invisible.  The sweep itself needs no depth expansion, but the
+        ``expansion_limit`` guard is still enforced so this method raises on
+        exactly the expressions :meth:`find_targets` raises on (the engine
+        memoizes both under the same key, so diverging here would make
+        results call-order dependent).  ``direction`` pins the planner; the
+        executed plan lands on ``last_sweep_plan``.
         """
         self._require_built()
         self._check_directions(expression)
+        check_expansion_limit(expression, self.expansion_limit)
+        sources = list(sources)
+        self.last_sweep_plan = None
         if self._index is None:
             return {source: self.find_targets(source, expression) for source in sources}
-        condition_memo: Dict[int, bytearray] = {}
-        return {
-            source: self._find_targets_interned(source, expression, condition_memo)
-            for source in sources
-        }
+        snapshot = self._index.snapshot
+        live_epoch = getattr(self.graph, "epoch", None)
+        if live_epoch != self._audience_epoch:
+            # Attribute mutations are visible through the snapshot's live
+            # attrs, so cached condition memos must not outlive the epoch.
+            self._audience_automata = AutomatonCache()
+            self._audience_epoch = live_epoch
+        automaton = self._audience_automata.get(expression, snapshot)
+        node_index = snapshot.node_index
+        present = [
+            (position, node_index[source])
+            for position, source in enumerate(sources)
+            if source in node_index
+        ]
+        sweep = audience_sweep(
+            snapshot, automaton, [index for _position, index in present],
+            direction=direction,
+        )
+        self.last_sweep_plan = sweep.plan
+        user_of = snapshot.node_ids
+        audiences: Dict[Hashable, Set[Hashable]] = {source: set() for source in sources}
+        for (position, _index), accepted in zip(present, sweep.audiences):
+            audiences[sources[position]] = {user_of[node] for node in accepted}
+        return audiences
 
     def _check_directions(self, expression: PathExpression) -> None:
         """A forward-only line graph cannot evaluate steps that traverse edges backwards."""
@@ -477,7 +529,7 @@ class ClusterIndexEvaluator:
         if not hop.closes_step:
             return True
         step = expression[hop.step_index]
-        return step.satisfied_by(self.graph.attributes(vertex.end))
+        return step.satisfied_by(raw_attributes_getter(self.graph)(vertex.end))
 
     def _match_line_query(
         self,

@@ -16,6 +16,15 @@ constrained product walk as :mod:`repro.reachability.bfs` /
   integers; witness information is kept as packed parent links and
   reconstructed into :class:`~repro.graph.paths.Path` objects only on
   demand, through :class:`SearchOutcome`.
+* :func:`audience_sweep` is the batched ``find_targets`` form: a **single
+  multi-source product sweep** that keeps, per ``(node, state)`` slot, a
+  bitmask of the owners whose walk has reached that slot (Python ints over
+  a dense owner index).  Overlapping owner neighbourhoods are traversed
+  once — a slot's outgoing CSR rows are rescanned only when *new* owner
+  bits arrive — instead of once per owner.  A :func:`direction planner
+  <plan_audience_sweep>` decides per expression whether to run the sweep
+  forward from the owners or backward from the whole vertex set over the
+  :func:`reversed automaton <reversed_expression>`.
 
 Both the breadth-first and the depth-first evaluator use the same core —
 they differ only in which end of the frontier is popped.
@@ -24,12 +33,14 @@ they differ only in which end of the frontier is popped.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.paths import Path, Traversal
 from repro.graph.social_graph import UserId
 from repro.policy.path_expression import PathExpression
+from repro.policy.steps import Direction, Step
 from repro.reachability.result import EvaluationResult
 
 __all__ = [
@@ -37,9 +48,18 @@ __all__ = [
     "AutomatonCache",
     "CompiledSearchMixin",
     "SearchOutcome",
+    "SweepPlan",
+    "AudienceSweep",
     "product_search",
     "audience_sweep",
+    "audience_sweep_batched",
+    "plan_audience_sweep",
+    "reversed_expression",
+    "reversed_automaton",
 ]
+
+#: Accepted values of every ``direction=`` parameter along the audience path.
+SWEEP_DIRECTIONS = ("auto", "forward", "reverse", "batched")
 
 #: A packed CSR edge as stored in parent links: (rel source, rel target,
 #: label id, traversed forward?).
@@ -207,6 +227,10 @@ class CompiledSearchMixin:
     """
 
     _depth_first = False
+    #: The :class:`SweepPlan` of the most recent batched audience sweep
+    #: (``None`` before the first sweep) — benchmarks read the planner's
+    #: forward/reverse choice here.
+    last_sweep_plan: Optional["SweepPlan"] = None
 
     def _compiled_search(
         self,
@@ -237,16 +261,19 @@ class CompiledSearchMixin:
         self,
         sources: Sequence[UserId],
         expression: PathExpression,
+        *,
+        direction: str = "auto",
     ) -> Dict[UserId, Set[UserId]]:
-        """Batched ``find_targets``: one automaton compile, one sweep per owner."""
+        """Batched ``find_targets``: one automaton compile, one shared sweep."""
         snapshot = compile_graph(self.graph)
         automaton = self._automata.get(expression, snapshot)
         indices = [snapshot.index_of(source) for source in sources]
         user_of = snapshot.node_ids
-        audiences = audience_sweep(snapshot, automaton, indices)
+        sweep = audience_sweep(snapshot, automaton, indices, direction=direction)
+        self.last_sweep_plan = sweep.plan
         return {
             source: {user_of[node] for node in accepted}
-            for source, accepted in zip(sources, audiences)
+            for source, accepted in zip(sources, sweep.audiences)
         }
 
 
@@ -394,33 +421,13 @@ def product_search(
     return SearchOutcome(snapshot, source, accepted, parents)
 
 
-def audience_sweep(
-    snapshot: CompiledGraph,
-    automaton: CompiledAutomaton,
-    sources: Sequence[int],
-) -> List[List[int]]:
-    """Materialize the accepted node set of every owner in ``sources``.
-
-    The batched form of the ``find_targets`` product walk: the automaton is
-    compiled once (its per-(step, node) condition memo is shared by every
-    owner), each owner's walk keeps its frontier in a plain int list and its
-    visited / accepted markers in ``bytearray`` seen-sets — no per-state
-    hashing, no witness bookkeeping.  Distance limits are enforced by the
-    automaton's depth-encoded states, exactly as in :func:`product_search`.
-
-    Returns one list of accepted node indices per source, in input order.
-    """
-    num_states = automaton.num_states
-    accept_id = automaton.accept_id
-    closure = automaton.closure
-    node_count = snapshot.number_of_nodes()
-
-    # Hoisted once for the whole batch (the payoff of batching): per-state
-    # CSR selections (direction checks and label lookups leave the edge
-    # loop) and the precomputed spontaneous-advance chains of states whose
-    # steps carry no attribute conditions.
+def _hoisted_state_moves(
+    snapshot: CompiledGraph, automaton: CompiledAutomaton
+) -> List[List[CSR_PAIR]]:
+    """Per-state CSR selections, hoisted so the edge loops never re-check
+    directions or re-resolve label ids."""
     state_moves: List[List[CSR_PAIR]] = []
-    for state in range(num_states):
+    for state in range(automaton.num_states):
         moves: List[CSR_PAIR] = []
         if automaton.can_more[state]:
             label_id = automaton.label_of[state]
@@ -429,6 +436,31 @@ def audience_sweep(
             if automaton.allow_bwd[state]:
                 moves.append(snapshot.backward(label_id))
         state_moves.append(moves)
+    return state_moves
+
+
+def audience_sweep_batched(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    sources: Sequence[int],
+) -> List[List[int]]:
+    """Materialize the accepted node set of every owner, one walk per owner.
+
+    The PR 2 batched sweep, kept as the measurable baseline of
+    :func:`audience_sweep`: the automaton is compiled once (its per-(step,
+    node) condition memo is shared by every owner), each owner's walk keeps
+    its frontier in a plain int list and its visited / accepted markers in
+    ``bytearray`` seen-sets — no per-state hashing, no witness bookkeeping.
+    Overlapping owner neighbourhoods are still re-expanded per owner, which
+    is exactly what the multi-source sweep eliminates.
+
+    Returns one list of accepted node indices per source, in input order.
+    """
+    num_states = automaton.num_states
+    accept_id = automaton.accept_id
+    closure = automaton.closure
+    node_count = snapshot.number_of_nodes()
+    state_moves = _hoisted_state_moves(snapshot, automaton)
     static_closure = automaton.static_closures()
 
     audiences: List[List[int]] = []
@@ -471,3 +503,413 @@ def audience_sweep(
                             accepted.append(neighbor)
         audiences.append(accepted)
     return audiences
+
+
+# --------------------------------------------------------------------------
+# Multi-source owner-bitset sweep + direction planner
+# --------------------------------------------------------------------------
+
+#: ``+`` and ``-`` swap when a path is walked target -> owner; ``*`` is its
+#: own mirror image.
+_FLIPPED_DIRECTION = {
+    Direction.OUTGOING: Direction.INCOMING,
+    Direction.INCOMING: Direction.OUTGOING,
+    Direction.ANY: Direction.ANY,
+}
+
+_REVERSED_AUTOMATA_KEY = "compiled_search.reversed_automata"
+
+
+def reversed_expression(expression: PathExpression) -> PathExpression:
+    """Return the expression matching every satisfying path walked backwards.
+
+    A path ``owner -> ... -> target`` satisfying ``expression`` corresponds
+    one-to-one to a path ``target -> ... -> owner`` satisfying the reversed
+    expression: step order is reversed, each step's direction is flipped and
+    its depth interval kept.  Attribute conditions shift one step towards
+    the owner — a forward step's conditions constrain the user at the *end*
+    of its edge run, and the backward walk reaches that user at the end of
+    the *following* reversed step's run.  The last forward step's conditions
+    constrain the backward walk's start nodes and therefore do not appear in
+    the reversed expression at all: reverse sweeps must filter their seeds
+    with them instead (see :func:`audience_sweep`).
+    """
+    steps = tuple(expression)
+    reversed_steps: List[Step] = []
+    for position in range(len(steps) - 1, -1, -1):
+        step = steps[position]
+        reversed_steps.append(
+            Step(
+                label=step.label,
+                direction=_FLIPPED_DIRECTION[step.direction],
+                depths=step.depths,
+                conditions=steps[position - 1].conditions if position > 0 else (),
+            )
+        )
+    return PathExpression(tuple(reversed_steps))
+
+
+def reversed_automaton(
+    snapshot: CompiledGraph, expression: PathExpression
+) -> CompiledAutomaton:
+    """Return the compiled automaton of ``reversed_expression(expression)``.
+
+    Cached in ``snapshot.derived`` (keyed by the forward expression's text),
+    so it shares the snapshot's lifetime and inherits epoch-based
+    invalidation — exactly like the interned line index.  A snapshot that
+    outlives graph mutations (the cluster index answers from its build-time
+    snapshot) still sees *live* attribute dicts, so the cache is additionally
+    dropped whenever the live graph epoch moves: compiled automata memoize
+    per-(step, node) condition outcomes and must not serve values frozen at
+    an earlier epoch.
+    """
+    live_epoch = getattr(snapshot.graph, "epoch", snapshot.epoch)
+    entry = snapshot.derived.get(_REVERSED_AUTOMATA_KEY)
+    if entry is None or entry[0] != live_epoch:
+        entry = (live_epoch, {})
+        snapshot.derived[_REVERSED_AUTOMATA_KEY] = entry
+    cache: Dict[str, CompiledAutomaton] = entry[1]
+    key = expression.to_text()
+    automaton = cache.get(key)
+    if automaton is None:
+        automaton = cache[key] = CompiledAutomaton(
+            reversed_expression(expression), snapshot
+        )
+    return automaton
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The direction planner's verdict for one audience sweep.
+
+    ``direction`` is what actually ran: ``"forward"`` (multi-source from the
+    owners), ``"reverse"`` (multi-source from the whole vertex set over the
+    reversed automaton) or ``"batched"`` (the per-owner PR 2 baseline,
+    selectable only by forcing).  Costs are the planner's estimates in
+    arbitrary explored-work units; they are computed even when the caller
+    forced the direction, so benchmarks can grade the heuristic.
+    """
+
+    direction: str
+    forced: bool
+    owners: int
+    forward_cost: float
+    reverse_cost: float
+    reason: str
+
+
+def _estimate_sweep_cost(
+    snapshot: CompiledGraph,
+    steps: Sequence[Step],
+    seed_count: int,
+    mask_bits: int,
+) -> float:
+    """Rough explored-work estimate of one multi-source sweep.
+
+    A geometric frontier model over the snapshot's per-label degree
+    statistics: every depth level of every step expands the frontier by the
+    label's mean degree (counted once per allowed edge orientation), and the
+    frontier saturates at ``|V|``.  Owners are assumed degree-typical.  Mask
+    width enters as a slow multiplier: big-int bitset ops on a few words are
+    drowned out by interpreter overhead, so each extra 16 words of mask
+    costs roughly one more interpreter-op equivalent per edge.
+    """
+    node_count = max(1, snapshot.number_of_nodes())
+    stats = snapshot.degree_statistics()
+    frontier = float(seed_count)
+    cost = float(seed_count)
+    for step in steps:
+        label_id = snapshot.label_id(step.label)
+        if label_id < 0:
+            break  # no edges carry this label: the sweep dies here
+        orientations = int(step.direction.allows_forward()) + int(
+            step.direction.allows_backward()
+        )
+        mean_degree = stats[label_id].mean_degree * orientations
+        for _depth in range(step.max_depth()):
+            expansions = frontier * mean_degree
+            cost += expansions
+            frontier = min(float(node_count), expansions)
+            if not frontier:
+                break
+        if not frontier:
+            break
+    words = 1 + (max(0, mask_bits - 1) >> 6)
+    return cost * (1.0 + words / 16.0)
+
+
+def plan_audience_sweep(
+    snapshot: CompiledGraph,
+    expression: PathExpression,
+    owner_count: int,
+    *,
+    direction: str = "auto",
+) -> SweepPlan:
+    """Choose the direction of one audience sweep.
+
+    Forward sweeps seed ``owner_count`` nodes with ``owner_count``-bit
+    masks; reverse sweeps seed the whole vertex set with ``|V|``-bit masks
+    over the reversed automaton.  Reverse wins when the owner set is large
+    (the two costs converge as ``owner_count -> |V|``) or when the forward
+    first step fans out much harder than the reversed one — e.g. a
+    high-degree ``*`` first step feeding into a rare last label.
+    ``direction`` other than ``"auto"`` pins the outcome (used by the
+    differential tests and benchmarks); costs are estimated either way.
+    """
+    if direction not in SWEEP_DIRECTIONS:
+        raise ValueError(
+            f"unknown sweep direction {direction!r}; expected one of {SWEEP_DIRECTIONS}"
+        )
+    node_count = snapshot.number_of_nodes()
+    forward_cost = _estimate_sweep_cost(
+        snapshot, tuple(expression), owner_count, owner_count
+    )
+    reverse_cost = _estimate_sweep_cost(
+        snapshot, tuple(reversed_expression(expression)), node_count, node_count
+    )
+    if direction != "auto":
+        return SweepPlan(
+            direction=direction,
+            forced=True,
+            owners=owner_count,
+            forward_cost=forward_cost,
+            reverse_cost=reverse_cost,
+            reason=f"direction pinned to {direction!r} by the caller",
+        )
+    if reverse_cost < forward_cost:
+        chosen, reason = "reverse", (
+            f"reverse sweep estimated cheaper ({reverse_cost:.0f} vs "
+            f"{forward_cost:.0f}) for {owner_count} owners over {node_count} nodes"
+        )
+    else:
+        chosen, reason = "forward", (
+            f"forward sweep estimated cheaper ({forward_cost:.0f} vs "
+            f"{reverse_cost:.0f}) for {owner_count} owners over {node_count} nodes"
+        )
+    return SweepPlan(
+        direction=chosen,
+        forced=False,
+        owners=owner_count,
+        forward_cost=forward_cost,
+        reverse_cost=reverse_cost,
+        reason=reason,
+    )
+
+
+def _multisource_mask_sweep(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    seeds: Mapping[int, int],
+) -> List[int]:
+    """Propagate owner bitmasks through the product space in one shared pass.
+
+    ``seeds`` maps node index -> initial bitmask.  Per ``(node, state)``
+    slot the flat ``seen`` table holds the mask of owners whose walk has
+    reached the slot; ``pending`` accumulates the not-yet-propagated part.
+    The worklist is FIFO so the owners' frontiers advance level-aligned and
+    merge into single slot visits — a slot's CSR rows are rescanned only
+    when genuinely new owner bits arrive (``new = mask & ~seen[slot]``),
+    which is the whole win over the per-owner sweep: overlapping owner
+    neighbourhoods cost one traversal, not one per owner.
+
+    Monotonicity makes this equivalent to running the per-owner walk for
+    every seed bit: a bit enters a slot's mask at most once, so each
+    (owner, node, state) triple is expanded at most once, exactly as in
+    :func:`audience_sweep_batched`.
+
+    Returns the flat ``seen`` table; callers read acceptance off
+    ``seen[node * num_states + accept_id]``.
+    """
+    num_states = automaton.num_states
+    closure = automaton.closure
+    static_closure = automaton.static_closures()
+    state_moves = _hoisted_state_moves(snapshot, automaton)
+    node_count = snapshot.number_of_nodes()
+
+    seen: List[int] = [0] * (node_count * num_states)
+    pending: List[int] = [0] * (node_count * num_states)
+    # Spontaneous-advance chains of condition-gated states, memoized per
+    # (state, node) slot: condition outcomes are stable within a sweep (the
+    # automaton's per-(step, node) memo), so the chain never changes and the
+    # closure call leaves the edge loop after the first visit.
+    chain_memo: Dict[int, Tuple[int, ...]] = {}
+    queue: List[int] = []
+    for node, mask in seeds.items():
+        for state in closure(automaton.start_id, node):
+            key = node * num_states + state
+            add = mask & ~seen[key]
+            if add:
+                seen[key] |= add
+                if not pending[key]:
+                    queue.append(key)
+                pending[key] |= add
+
+    head = 0
+    while head < len(queue):
+        key = queue[head]
+        head += 1
+        delta = pending[key]
+        pending[key] = 0
+        if not delta:
+            continue
+        node, state = divmod(key, num_states)
+        moves = state_moves[state]
+        if not moves:
+            continue
+        next_state = state + 1
+        next_static = static_closure[next_state]
+        for offsets, targets in moves:
+            # Slicing the CSR row and iterating the array directly saves an
+            # index lookup per edge — this loop is the sweep's entire cost.
+            for neighbor in targets[offsets[node]:offsets[node + 1]]:
+                base = neighbor * num_states
+                if next_static is not None:
+                    chain = next_static
+                else:
+                    chain = chain_memo.get(base + next_state)
+                    if chain is None:
+                        chain = chain_memo[base + next_state] = tuple(
+                            closure(next_state, neighbor)
+                        )
+                for closed in chain:
+                    neighbor_key = base + closed
+                    previous = seen[neighbor_key]
+                    if previous:
+                        add = delta & ~previous
+                        if not add:
+                            continue
+                        seen[neighbor_key] = previous | add
+                    else:
+                        add = delta
+                        seen[neighbor_key] = delta
+                    if not pending[neighbor_key]:
+                        queue.append(neighbor_key)
+                    pending[neighbor_key] |= add
+    return seen
+
+
+def _mask_bits(mask: int) -> List[int]:
+    """Return the set bit positions of ``mask`` (lowest first)."""
+    bits: List[int] = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return bits
+
+
+def _sweep_forward(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    sources: Sequence[int],
+) -> List[List[int]]:
+    """Multi-source sweep from the owners; bit ``i`` stands for ``sources[i]``."""
+    seeds: Dict[int, int] = {}
+    for bit, node in enumerate(sources):
+        seeds[node] = seeds.get(node, 0) | (1 << bit)
+    seen = _multisource_mask_sweep(snapshot, automaton, seeds)
+    num_states = automaton.num_states
+    accept_id = automaton.accept_id
+    audiences: List[List[int]] = [[] for _ in sources]
+    # Accepted nodes cluster on few distinct owner masks (overlapping
+    # audiences are the whole point of the batch), so bit extraction is
+    # memoized per mask value and the decode degenerates to list appends —
+    # the same Sum|audience| appends the per-owner baseline pays.
+    bits_of: Dict[int, List[int]] = {}
+    for node in range(snapshot.number_of_nodes()):
+        mask = seen[node * num_states + accept_id]
+        if not mask:
+            continue
+        bits = bits_of.get(mask)
+        if bits is None:
+            bits = bits_of[mask] = _mask_bits(mask)
+        for bit in bits:
+            audiences[bit].append(node)
+    return audiences
+
+
+def _sweep_reverse(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    sources: Sequence[int],
+) -> List[List[int]]:
+    """Multi-source sweep over the reversed automaton from the whole vertex set.
+
+    Bit ``t`` stands for the candidate *target* node ``t``; seeds are
+    filtered by the last forward step's attribute conditions (the one
+    constraint :func:`reversed_expression` cannot carry).  A bit reaching an
+    owner's accepting slot means the backward walk ``t -> owner`` succeeded,
+    i.e. ``t`` belongs to that owner's audience.
+    """
+    reverse = reversed_automaton(snapshot, automaton.expression)
+    steps = tuple(automaton.expression)
+    node_count = snapshot.number_of_nodes()
+    if steps[-1].conditions:
+        # The forward automaton's per-(step, node) memo covers the last
+        # step, so repeated reverse sweeps re-evaluate nothing.
+        last_index = len(steps) - 1
+        holds = automaton.condition_holds
+        seeds = {
+            node: 1 << node for node in range(node_count) if holds(last_index, node)
+        }
+    else:
+        seeds = {node: 1 << node for node in range(node_count)}
+    seen = _multisource_mask_sweep(snapshot, reverse, seeds)
+    num_states = reverse.num_states
+    accept_id = reverse.accept_id
+    audiences: List[List[int]] = []
+    for node in sources:
+        audiences.append(_mask_bits(seen[node * num_states + accept_id]))
+    return audiences
+
+
+class AudienceSweep:
+    """Result of one audience sweep: per-owner audiences plus the plan run."""
+
+    __slots__ = ("audiences", "plan")
+
+    def __init__(self, audiences: List[List[int]], plan: SweepPlan) -> None:
+        self.audiences = audiences
+        self.plan = plan
+
+    def __iter__(self) -> Iterable[List[int]]:
+        return iter(self.audiences)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AudienceSweep {len(self.audiences)} owners via {self.plan.direction}>"
+        )
+
+
+def audience_sweep(
+    snapshot: CompiledGraph,
+    automaton: CompiledAutomaton,
+    sources: Sequence[int],
+    *,
+    direction: str = "auto",
+    plan: Optional[SweepPlan] = None,
+) -> AudienceSweep:
+    """Materialize the accepted node set of every owner in ``sources`` at once.
+
+    The multi-source form of the ``find_targets`` product walk: one frontier
+    pass shared by all owners, with per-slot owner bitmasks instead of one
+    bytearray walk per owner (:func:`audience_sweep_batched`, the PR 2
+    baseline, remains available and selectable via ``direction="batched"``).
+    ``direction`` is resolved by :func:`plan_audience_sweep` unless an
+    explicit ``plan`` is handed in.  Distance limits are enforced by the
+    automaton's depth-encoded states, exactly as in :func:`product_search`.
+
+    Returns an :class:`AudienceSweep` with one list of accepted node indices
+    per source, in input order, and the executed :class:`SweepPlan`.
+    """
+    if plan is None:
+        plan = plan_audience_sweep(
+            snapshot, automaton.expression, len(sources), direction=direction
+        )
+    if plan.direction == "batched":
+        audiences = audience_sweep_batched(snapshot, automaton, sources)
+    elif plan.direction == "reverse":
+        audiences = _sweep_reverse(snapshot, automaton, sources)
+    else:
+        audiences = _sweep_forward(snapshot, automaton, sources)
+    return AudienceSweep(audiences, plan)

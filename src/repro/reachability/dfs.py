@@ -20,7 +20,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.paths import Path, Traversal
-from repro.graph.social_graph import SocialGraph
+from repro.graph.social_graph import SocialGraph, raw_attributes_getter
 from repro.policy.path_expression import PathExpression
 from repro.reachability.automaton import AutomatonState, StepAutomaton
 from repro.reachability.compiled_search import AutomatonCache, CompiledSearchMixin
@@ -87,13 +87,20 @@ class OnlineDFSEvaluator(CompiledSearchMixin):
             return outcome.users()
         return set(self._search(source, expression, result, stop_at=None, collect_witness=False))
 
-    def find_targets_many(self, sources, expression: PathExpression):
-        """Batched :meth:`find_targets`: one compiled automaton, one sweep per owner.
+    def find_targets_many(self, sources, expression: PathExpression, *,
+                          direction: str = "auto"):
+        """Batched :meth:`find_targets`: one automaton, one shared owner sweep.
+
+        Same multi-source owner-bitset sweep as the BFS evaluator (audience
+        materialization has no exploration order); ``direction`` pins the
+        planner and the executed plan lands on ``self.last_sweep_plan``.
 
         Returns ``{owner: audience}`` for every owner in ``sources``.
         """
         if self.compiled:
-            return self._compiled_find_targets_many(list(sources), expression)
+            return self._compiled_find_targets_many(
+                list(sources), expression, direction=direction
+            )
         return {source: self.find_targets(source, expression) for source in sources}
 
     # ------------------------------------------------- legacy (dict) search
@@ -115,6 +122,8 @@ class OnlineDFSEvaluator(CompiledSearchMixin):
         automaton = StepAutomaton(expression)
         accepted: Dict[Hashable, Optional[Path]] = {}
         visited: Set[_SearchNode] = set()
+        # Raw dict reads in the hot loop (no per-node AttributeMap views).
+        attributes_of = raw_attributes_getter(self.graph)
         # Each stack entry carries the partial witness (tuple of traversals) so
         # no parent map is needed; tuples share structure, keeping this cheap.
         stack: List[Tuple[Hashable, AutomatonState, Tuple[Traversal, ...]]] = []
@@ -129,7 +138,7 @@ class OnlineDFSEvaluator(CompiledSearchMixin):
             if automaton.is_accepting(state) and user not in accepted:
                 accepted[user] = Path(source, trail) if collect_witness else None
 
-        for state in automaton.closure(automaton.start_state, self.graph.attributes(source)):
+        for state in automaton.closure(automaton.start_state, attributes_of(source)):
             push(source, state, ())
 
         while stack:
@@ -143,17 +152,13 @@ class OnlineDFSEvaluator(CompiledSearchMixin):
             if allow_forward:
                 for rel in self.graph.out_relationships(user, label):
                     result.count("edges_expanded")
-                    self._arrive(automaton, push, rel.target, next_state,
-                                 trail + (Traversal(rel, forward=True),) if collect_witness else ())
+                    extended = trail + (Traversal(rel, forward=True),) if collect_witness else ()
+                    for closed in automaton.closure(next_state, attributes_of(rel.target)):
+                        push(rel.target, closed, extended)
             if allow_backward:
                 for rel in self.graph.in_relationships(user, label):
                     result.count("edges_expanded")
-                    self._arrive(automaton, push, rel.source, next_state,
-                                 trail + (Traversal(rel, forward=False),) if collect_witness else ())
+                    extended = trail + (Traversal(rel, forward=False),) if collect_witness else ()
+                    for closed in automaton.closure(next_state, attributes_of(rel.source)):
+                        push(rel.source, closed, extended)
         return accepted
-
-    def _arrive(self, automaton: StepAutomaton, push, user: Hashable,
-                state: AutomatonState, trail: Tuple[Traversal, ...]) -> None:
-        attributes = self.graph.attributes(user)
-        for closed in automaton.closure(state, attributes):
-            push(user, closed, trail)

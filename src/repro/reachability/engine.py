@@ -23,6 +23,7 @@ the access-control engine, the examples and the benchmark harness.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 from collections import OrderedDict
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
@@ -31,6 +32,7 @@ from repro.graph.social_graph import SocialGraph
 from repro.policy.path_expression import PathExpression
 from repro.reachability.bfs import OnlineBFSEvaluator
 from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.compiled_search import SWEEP_DIRECTIONS
 from repro.reachability.dfs import OnlineDFSEvaluator
 from repro.reachability.result import EvaluationResult
 from repro.reachability.transitive_closure import TransitiveClosureEvaluator
@@ -112,6 +114,16 @@ class ReachabilityEngine:
         self._targets_cache: "OrderedDict[Tuple, FrozenSet[Hashable]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Executed plan of the most recent batched audience sweep (``None``
+        #: before the first sweep, or when every owner was served from cache).
+        self.last_sweep_plan = None
+        batched = getattr(self._evaluator, "find_targets_many", None)
+        try:
+            self._batched_takes_direction = batched is not None and (
+                "direction" in inspect.signature(batched).parameters
+            )
+        except (TypeError, ValueError):  # builtins / exotic callables
+            self._batched_takes_direction = False
 
     @property
     def evaluator(self):
@@ -219,20 +231,35 @@ class ReachabilityEngine:
         self,
         sources: Iterable[Hashable],
         expression: Union[str, PathExpression],
+        *,
+        direction: str = "auto",
     ) -> Dict[Hashable, Set[Hashable]]:
         """Materialize audiences for many owners at once.
 
         The batched form of :meth:`find_targets`: backends exposing
         ``find_targets_many`` (all four do over a :class:`SocialGraph`)
-        compile their per-expression machinery once and sweep each owner on
-        dense frontier arrays; other evaluators fall back to a per-owner
-        loop.  The epoch-stamped target-set memo is consulted per owner, so
-        a warm cache only recomputes the missing owners.
+        compile their per-expression machinery once and run a single
+        multi-source owner-bitset sweep shared by all owners; other
+        evaluators fall back to a per-owner loop.  The epoch-stamped
+        target-set memo is consulted per owner first, so a warm cache serves
+        the cached owners from the memo and sweeps only the misses — as one
+        mask.  ``direction`` pins the sweep planner (``"forward"``,
+        ``"reverse"`` or the per-owner ``"batched"`` baseline; default
+        ``"auto"`` lets the planner decide) and the executed
+        :class:`~repro.reachability.compiled_search.SweepPlan` is recorded
+        on :attr:`last_sweep_plan` (``None`` when nothing was swept).
         """
+        if direction not in SWEEP_DIRECTIONS:
+            # Validate up front: on a warm cache nothing is swept and a
+            # typo'd pinned direction would otherwise be silently accepted.
+            raise ValueError(
+                f"unknown sweep direction {direction!r}; expected one of {SWEEP_DIRECTIONS}"
+            )
         expression = self._parse(expression)
         sources = list(dict.fromkeys(sources))
+        self.last_sweep_plan = None
         if not self._cache_ready():
-            return self._dispatch_targets_many(sources, expression)
+            return self._dispatch_targets_many(sources, expression, direction)
         text = expression.to_text()
         audiences: Dict[Hashable, Set[Hashable]] = {}
         missing: List[Hashable] = []
@@ -246,7 +273,7 @@ class ReachabilityEngine:
                 missing.append(source)
         if missing:
             self.cache_misses += len(missing)
-            computed = self._dispatch_targets_many(missing, expression)
+            computed = self._dispatch_targets_many(missing, expression, direction)
             for source, targets in computed.items():
                 self._cache_put(self._targets_cache, (source, text), frozenset(targets))
                 audiences[source] = targets
@@ -256,11 +283,20 @@ class ReachabilityEngine:
         self,
         sources: List[Hashable],
         expression: PathExpression,
+        direction: str,
     ) -> Dict[Hashable, Set[Hashable]]:
         batched = getattr(self._evaluator, "find_targets_many", None)
-        if batched is not None:
-            return batched(sources, expression)
-        return {source: self._evaluator.find_targets(source, expression) for source in sources}
+        if batched is None:
+            return {
+                source: self._evaluator.find_targets(source, expression)
+                for source in sources
+            }
+        if self._batched_takes_direction:
+            audiences = batched(sources, expression, direction=direction)
+        else:  # duck-typed legacy evaluator: no planner to steer
+            audiences = batched(sources, expression)
+        self.last_sweep_plan = getattr(self._evaluator, "last_sweep_plan", None)
+        return audiences
 
     def statistics(self) -> Dict[str, float]:
         """Return the backend's index statistics (size, build time...)."""

@@ -27,9 +27,32 @@ from repro.exceptions import QueryError
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction, Step
 
-__all__ = ["ReachabilityQuery", "LineHop", "LineQuery", "expand_line_queries"]
+__all__ = [
+    "ReachabilityQuery",
+    "LineHop",
+    "LineQuery",
+    "check_expansion_limit",
+    "expand_line_queries",
+]
 
 DEFAULT_EXPANSION_LIMIT = 4096
+
+
+def check_expansion_limit(expression: PathExpression, limit: Optional[int]) -> None:
+    """Reject empty expressions and ones whose depth expansion exceeds ``limit``.
+
+    The single home of the expansion-limit policy: :func:`expand_line_queries`
+    enforces it before materializing line queries, and the cluster backend's
+    batched audience sweep (which needs no expansion) applies the same guard
+    so batched and per-owner calls raise on exactly the same expressions.
+    """
+    if len(expression) == 0:
+        raise QueryError("cannot expand an empty path expression")
+    if limit is not None and expression.expansion_count() > limit:
+        raise QueryError(
+            f"expression {expression.to_text()!r} expands into "
+            f"{expression.expansion_count()} line queries, above the limit of {limit}"
+        )
 
 
 @dataclass(frozen=True)
@@ -127,13 +150,7 @@ def expand_line_queries(
     ``limit`` guards against combinatorial blow-up of extremely wide
     expressions; ``None`` disables the guard.
     """
-    if len(expression) == 0:
-        raise QueryError("cannot expand an empty path expression")
-    if limit is not None and expression.expansion_count() > limit:
-        raise QueryError(
-            f"expression {expression.to_text()!r} expands into "
-            f"{expression.expansion_count()} line queries, above the limit of {limit}"
-        )
+    check_expansion_limit(expression, limit)
     depth_choices: List[Sequence[int]] = [list(step.depths) for step in expression]
     queries: List[LineQuery] = []
     for combination in itertools.product(*depth_choices):

@@ -207,6 +207,10 @@ class TransitiveClosureEvaluator:
 
     name = "transitive-closure"
 
+    #: Executed :class:`~repro.reachability.compiled_search.SweepPlan` of the
+    #: most recent batched audience sweep (mirrored from the inner BFS).
+    last_sweep_plan = None
+
     def __init__(self, graph: SocialGraph) -> None:
         self.graph = graph
         self.index = TransitiveClosureIndex(graph)
@@ -265,12 +269,19 @@ class TransitiveClosureEvaluator:
         return self._bfs.find_targets(source, expression)
 
     def find_targets_many(
-        self, sources, expression: PathExpression
+        self, sources, expression: PathExpression, *, direction: str = "auto"
     ) -> Dict[Hashable, Set[Hashable]]:
-        """Batched :meth:`find_targets`, delegated to the constrained BFS sweep."""
+        """Batched :meth:`find_targets`, delegated to the multi-source BFS sweep.
+
+        The closure prunes single (source, target) decisions, not audience
+        materialization, so the inner evaluator's owner-bitset sweep is used
+        as-is; its executed plan is mirrored on ``self.last_sweep_plan``.
+        """
         if not self._built:
             raise IndexNotBuiltError("call build() before evaluating queries")
-        return self._bfs.find_targets_many(sources, expression)
+        audiences = self._bfs.find_targets_many(sources, expression, direction=direction)
+        self.last_sweep_plan = self._bfs.last_sweep_plan
+        return audiences
 
     # ---------------------------------------------------------------- prune
 

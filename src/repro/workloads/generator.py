@@ -35,7 +35,14 @@ GRAPH_FAMILIES: Dict[str, Callable[..., SocialGraph]] = {
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Description of one benchmark workload."""
+    """Description of one benchmark workload.
+
+    Besides the per-request stream (the ``check_access`` path), a workload
+    can carry a **bulk_audience scenario**: ``audience_batches`` groups of
+    ``audience_batch_size`` resources each, meant to be answered by one
+    :meth:`~repro.policy.engine.AccessControlEngine.authorized_audiences`
+    call per group — the batched path the multi-source owner sweep serves.
+    """
 
     family: str = "barabasi-albert"
     users: int = 500
@@ -43,6 +50,10 @@ class WorkloadSpec:
     rules_per_owner: int = 1
     owners: int = 10
     requests: int = 200
+    #: Number of grouped ``authorized_audiences`` requests to emit.
+    audience_batches: int = 0
+    #: Resources per grouped audience request (capped at the resource count).
+    audience_batch_size: int = 8
     expressions: Tuple[str, ...] = (
         "friend+[1]",
         "friend+[1,2]",
@@ -67,6 +78,9 @@ class Workload:
     resources: List[Tuple[str, Hashable, Tuple[str, ...]]] = field(default_factory=list)
     # (requester, resource_id)
     requests: List[Tuple[Hashable, str]] = field(default_factory=list)
+    # bulk_audience scenario: each entry is one grouped authorized_audiences
+    # request (a tuple of resource ids materialized together)
+    audience_requests: List[Tuple[str, ...]] = field(default_factory=list)
 
     def owners(self) -> List[Hashable]:
         """Return the owners of the protected resources (deduplicated, ordered)."""
@@ -110,4 +124,20 @@ def build_workload(spec: WorkloadSpec) -> Workload:
             requester = rng.choice(users)
             resource_id = rng.choice(resources)[0]
             requests.append((requester, resource_id))
-    return Workload(spec=spec, graph=graph, resources=resources, requests=requests)
+
+    # The bulk_audience scenario: grouped audience materializations, so the
+    # benchmarks exercise authorized_audiences (one multi-source sweep per
+    # distinct expression in the group) and not only the per-request path.
+    audience_requests: List[Tuple[str, ...]] = []
+    if resources and spec.audience_batches > 0:
+        resource_ids = [resource_id for resource_id, _owner, _exprs in resources]
+        size = max(1, min(spec.audience_batch_size, len(resource_ids)))
+        for _ in range(spec.audience_batches):
+            audience_requests.append(tuple(rng.sample(resource_ids, size)))
+    return Workload(
+        spec=spec,
+        graph=graph,
+        resources=resources,
+        requests=requests,
+        audience_requests=audience_requests,
+    )

@@ -1,13 +1,14 @@
-"""Cache-invalidation edge coverage: epochs, the attribute caveat, cache_size=0.
+"""Cache-invalidation edge coverage: epochs, attribute writes, cache_size=0.
 
 The contract under test (ROADMAP "Cache-invalidation contract"):
 
 * every mutating :class:`SocialGraph` method bumps ``graph.epoch``;
 * derived state (compiled snapshots, the engine's decision / target-set
   memos) records its build epoch and rebuilds when the epoch moves;
-* writing through the live mapping returned by ``graph.attributes(u)`` is
-  the documented loophole — it does **not** bump the epoch, so cached
-  decisions may go stale until ``update_user`` is used;
+* ``graph.attributes(u)`` returns a live, epoch-aware
+  :class:`~repro.graph.social_graph.AttributeMap`: reads are free of
+  copying, while writes through it bump the epoch exactly like
+  ``update_user`` (the historical write-through caveat is gone);
 * ``cache_size=0`` disables the decision memo entirely.
 """
 
@@ -96,37 +97,68 @@ class TestSnapshotFollowsTheEpoch:
         assert "probe" not in compile_graph(graph).derived
 
 
-class TestAttributeWriteThroughCaveat:
-    """``graph.attributes(u)`` hands out the live dict: reads stay correct,
-    cached decisions go stale, and ``update_user`` is the sanctioned fix."""
+class TestAttributeWritesInvalidateCaches:
+    """``graph.attributes(u)`` hands out a live epoch-aware view: reads stay
+    current and free, writes invalidate cached decisions like ``update_user``."""
 
-    def test_decision_memo_staleness_and_update_user_recovery(self):
+    def test_item_write_bumps_the_epoch_and_decision_memo(self):
         graph = two_user_graph()
         engine = ReachabilityEngine(graph, "bfs")
         expression = "friend+[1]{age >= 40}"
         assert engine.is_reachable("a", "b", expression)
 
-        # Write-through: no epoch bump, so the cached GRANT keeps serving.
+        before = graph.epoch
         graph.attributes("b")["age"] = 10
-        assert graph.epoch == compile_graph(graph).epoch
-        assert engine.is_reachable("a", "b", expression)  # stale, documented
-
-        # update_user bumps the epoch and the memo re-evaluates honestly.
-        graph.update_user("b", age=10)
+        assert graph.epoch == before + 1
         assert not engine.is_reachable("a", "b", expression)
 
-    def test_condition_memo_staleness_even_without_the_decision_memo(self):
+        # update_user remains equivalent (and the two paths compose).
+        graph.update_user("b", age=45)
+        assert engine.is_reachable("a", "b", expression)
+
+    def test_condition_memo_sees_writes_even_without_the_decision_memo(self):
         graph = two_user_graph()
         engine = ReachabilityEngine(graph, "bfs", cache_size=0)
         expression = "friend+[1]{age >= 40}"
         assert engine.is_reachable("a", "b", expression)
-        graph.attributes("b")["age"] = 10
         # cache_size=0 only disables the engine's decision memo; the compiled
-        # automaton's per-(step, node) condition memo is epoch-scoped too, so
-        # the written-through value stays invisible — the caveat in full.
-        assert engine.is_reachable("a", "b", expression)
-        graph.update_user("b", age=10)  # epoch bump drops the condition memo
+        # automaton's per-(step, node) condition memo is epoch-scoped, and the
+        # write bumps the epoch, so the new value is visible immediately.
+        graph.attributes("b")["age"] = 10
         assert not engine.is_reachable("a", "b", expression)
+
+    def test_mutable_mapping_methods_bump_too(self):
+        graph = two_user_graph()
+        attrs = graph.attributes("a")
+        epoch = graph.epoch
+        attrs.update(city="paris", age=31)
+        assert graph.epoch > epoch
+        epoch = graph.epoch
+        assert attrs.pop("city") == "paris"
+        assert graph.epoch == epoch + 1
+        epoch = graph.epoch
+        del attrs["age"]
+        assert graph.epoch == epoch + 1
+        assert dict(graph.attributes("a")) == {}
+
+    def test_reads_do_not_bump(self):
+        graph = two_user_graph()
+        attrs = graph.attributes("a")
+        epoch = graph.epoch
+        assert attrs["age"] == 30
+        assert attrs.get("missing") is None
+        assert "age" in attrs and len(attrs) == 1
+        assert attrs == {"age": 30}
+        assert graph.epoch == epoch
+
+    def test_snapshot_rebuilds_after_attribute_write(self):
+        graph = two_user_graph()
+        snapshot = compile_graph(graph)
+        graph.attributes("a")["age"] = 99
+        assert snapshot.is_stale()
+        rebuilt = compile_graph(graph)
+        assert rebuilt is not snapshot
+        assert rebuilt.attributes_of(rebuilt.index_of("a"))["age"] == 99
 
     def test_target_set_memo_invalidated_by_mutation(self):
         graph = two_user_graph()

@@ -76,3 +76,38 @@ class TestBuildWorkload:
     def test_owner_count_capped_by_population(self):
         workload = build_workload(WorkloadSpec(users=3, owners=10, seed=1))
         assert len(workload.owners()) == 3
+
+
+class TestBulkAudienceScenario:
+    def test_disabled_by_default(self):
+        workload = build_workload(WorkloadSpec(users=40, seed=4))
+        assert workload.audience_requests == []
+
+    def test_batches_reference_existing_resources(self):
+        spec = WorkloadSpec(
+            users=60, owners=6, rules_per_owner=2, seed=8,
+            audience_batches=5, audience_batch_size=4,
+        )
+        workload = build_workload(spec)
+        assert len(workload.audience_requests) == 5
+        resource_ids = {rid for rid, _owner, _exprs in workload.resources}
+        for batch in workload.audience_requests:
+            assert len(batch) == 4
+            assert len(set(batch)) == 4  # sampled without replacement
+            assert set(batch) <= resource_ids
+
+    def test_batch_size_capped_by_resource_count(self):
+        spec = WorkloadSpec(
+            users=30, owners=2, rules_per_owner=1, seed=3,
+            audience_batches=2, audience_batch_size=50,
+        )
+        workload = build_workload(spec)
+        for batch in workload.audience_requests:
+            assert len(batch) == len(workload.resources)
+
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(users=50, seed=7, audience_batches=3)
+        assert (
+            build_workload(spec).audience_requests
+            == build_workload(spec).audience_requests
+        )
