@@ -18,6 +18,15 @@ count:
 3. the planner's ``auto`` choice (the acceptance row: >= 3x over the
    baseline at 5000 users with >= 64 owners).
 
+A second experiment exercises the planner's **reverse arm** for real (the
+ROADMAP open item): a huge-owner-set workload — audiences for 25% / 50% /
+100% of the vertex set at once — over an expression whose forward first step
+fans out hard (``friend*``) into a selective final label (``parent``).
+Reversed, the rare label becomes the *first* step and prunes the frontier
+immediately; as the owner set approaches |V| the forward sweep's only
+advantage (narrower owner masks) vanishes, and the planner must flip to
+``reverse`` at the 100% row.
+
 All variants must materialize identical audiences.  Artifacts:
 ``benchmarks/results/BENCH_audience_multisource.json`` and
 ``perf7_audience_multisource.txt``.  Runnable directly:
@@ -60,6 +69,14 @@ EXPRESSIONS = (
 
 #: Full-size acceptance floor for the planner's auto choice at >= 64 owners.
 SPEEDUP_TARGET = 3.0
+
+#: The reverse-arm workload: a hub-heavy ``*`` walk into a rare final label.
+#: Reversed (``parent-[1]/friend*[1,3]``) the selective label leads, so a
+#: whole-vertex-set owner batch is cheaper to sweep backwards.
+REVERSE_ARM_EXPRESSION = "friend*[1,3]/parent+[1]"
+
+#: Owner-set sizes for the reverse-arm experiment, as fractions of |V|.
+REVERSE_ARM_FRACTIONS = (0.25, 0.5, 1.0)
 
 
 def _timed(function):
@@ -127,6 +144,33 @@ def run_benchmark() -> dict:
                 }
             )
 
+    # ---- reverse-arm experiment: huge owner sets, selective first step ----
+    expression = PathExpression.parse(REVERSE_ARM_EXPRESSION)
+    automaton = automata.get(expression, snapshot)
+    reverse_rows = []
+    for fraction in REVERSE_ARM_FRACTIONS:
+        owners = by_degree[: max(1, int(node_count * fraction))]
+        forward_seconds, forward = _timed(
+            lambda: audience_sweep(snapshot, automaton, owners, direction="forward")
+        )
+        auto_seconds, auto = _timed(
+            lambda: audience_sweep(snapshot, automaton, owners)
+        )
+        reference = [set(audience) for audience in forward.audiences]
+        assert [set(a) for a in auto.audiences] == reference, fraction
+        reverse_rows.append(
+            {
+                "expression": REVERSE_ARM_EXPRESSION,
+                "owners": len(owners),
+                "fraction": fraction,
+                "forward_seconds": forward_seconds,
+                "auto_seconds": auto_seconds,
+                "auto_direction": auto.plan.direction,
+                "planned_forward_cost": auto.plan.forward_cost,
+                "planned_reverse_cost": auto.plan.reverse_cost,
+            }
+        )
+
     return {
         "experiment": "PERF-7 multi-source owner-bitset audience sweep",
         "smoke": SMOKE,
@@ -135,6 +179,7 @@ def run_benchmark() -> dict:
         "owner_counts": list(OWNER_COUNTS),
         "speedup_target": SPEEDUP_TARGET,
         "rows": rows,
+        "reverse_arm_rows": reverse_rows,
     }
 
 
@@ -154,6 +199,18 @@ def _format_table(summary: dict) -> str:
             f"{row['batched_seconds']:>10.3f} {row['auto_seconds']:>8.3f} "
             f"{row['speedup_auto']:>7.1f}x {row['auto_direction']:>8}"
         )
+    lines += [
+        "",
+        "reverse arm — huge owner sets over a selective-first-step expression:",
+        f"{'expression':<28} {'owners':>6} {'forward s':>10} {'auto s':>8} {'plan':>8}",
+        "-" * 66,
+    ]
+    for row in summary["reverse_arm_rows"]:
+        lines.append(
+            f"{row['expression']:<28} {row['owners']:>6} "
+            f"{row['forward_seconds']:>10.3f} {row['auto_seconds']:>8.3f} "
+            f"{row['auto_direction']:>8}"
+        )
     return "\n".join(lines)
 
 
@@ -164,11 +221,18 @@ def _meets_target(summary: dict) -> bool:
     )
 
 
+def _planner_flips_to_reverse(summary: dict) -> bool:
+    """The whole-vertex-set owner batch must be planned as a reverse sweep."""
+    full = [row for row in summary["reverse_arm_rows"] if row["fraction"] == 1.0]
+    return bool(full) and all(row["auto_direction"] == "reverse" for row in full)
+
+
 def test_multisource_sweep_beats_the_batched_baseline():
     summary = run_benchmark()
     table = _format_table(summary)
     print()
     print(table)
+    assert _planner_flips_to_reverse(summary), summary["reverse_arm_rows"]
     if SMOKE:
         return  # agreement already asserted; ratios are noise at smoke size
     assert _meets_target(summary), summary["rows"]
@@ -189,4 +253,8 @@ if __name__ == "__main__":
         (RESULTS_DIR / "perf7_audience_multisource.txt").write_text(
             table + "\n", encoding="utf-8"
         )
-    sys.exit(0 if (summary["smoke"] or _meets_target(summary)) else 1)
+    sys.exit(
+        0
+        if (_planner_flips_to_reverse(summary) and (summary["smoke"] or _meets_target(summary)))
+        else 1
+    )

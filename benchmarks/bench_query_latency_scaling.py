@@ -7,7 +7,7 @@ the per-query cost (nearly) independent of graph size.  This experiment fixes
 a query mix (the paper's scenario expressions) and measures the mean decision
 latency on Barabási–Albert graphs of increasing size for every backend.
 
-Expected shape (recorded in EXPERIMENTS.md): online BFS/DFS latency grows
+Expected shape (recorded in docs/benchmarks.md): online BFS/DFS latency grows
 with graph size; the cluster-index per-query latency stays roughly flat once
 the (expensive, offline) index has been built; the transitive-closure backend
 sits in between (O(1) pruning, online search for the rest).

@@ -1,10 +1,10 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
-Every ``bench_*`` module regenerates one artifact of DESIGN.md's experiment
+Every ``bench_*`` module regenerates one artifact of docs/benchmarks.md's experiment
 index (a figure of the paper or one of the PERF-* studies).  Besides the
 wall-clock numbers collected by ``pytest-benchmark``, each experiment prints
 its result table and appends it to ``benchmarks/results/`` so that
-EXPERIMENTS.md can quote stable artifacts.
+docs/benchmarks.md can quote stable artifacts.
 
 Run with::
 

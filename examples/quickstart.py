@@ -58,6 +58,34 @@ def main() -> None:
     # 5. The whole authorized audience can be materialized at once.
     print()
     print("authorized audience:", sorted(engine.authorized_audience("holiday-album")))
+
+    # 6. Audiences for MANY resources are answered in one bulk pass:
+    #    authorized_audiences groups the access conditions by path expression
+    #    and runs one multi-source sweep per distinct expression, instead of
+    #    one traversal per resource.
+    store.share("bob", "board-games", kind="wishlist")
+    store.allow("board-games", "friend*[1,2]", description="friends of friends")
+    store.share("carol", "travel-notes", kind="notes")
+    store.allow("travel-notes", "friend*[1,2]", description="friends of friends")
+    print()
+    audiences = engine.authorized_audiences(["holiday-album", "board-games", "travel-notes"])
+    for resource_id, audience in sorted(audiences.items()):
+        print(f"  {resource_id:>13}: {sorted(audience)}")
+    # The shared "friend*[1,2]" condition of bob and carol was materialized
+    # by ONE sweep; the planner's verdict is recorded per expression.
+    for text, plan in engine.last_audience_plans.items():
+        print(f"  sweep for {text!r}: direction={plan.direction} ({plan.owners} owners)")
+
+    # 7. The same batching exists one layer down on the reachability engine:
+    #    find_targets_many materializes several owners' reachable sets in one
+    #    shared product walk (here: everyone's adult friend-of-friend ball).
+    reach = engine.reachability
+    audiences = reach.find_targets_many(["alice", "bob", "carol"], "friend*[1,2]{age >= 18}")
+    print()
+    for owner, targets in sorted(audiences.items()):
+        print(f"  {owner} reaches {sorted(targets)}")
+
+    print()
     print(f"audit log: {len(audit)} decisions, grant rate {audit.grant_rate():.2f}")
 
 

@@ -6,7 +6,7 @@ A faithful, self-contained reproduction of
     "Access Control in Social Networks: A Reachability-Based Approach",
     EDBT/ICDT Workshops 2012.
 
-The library has four layers (see DESIGN.md for the full inventory):
+The library has these layers (see docs/architecture.md for how they fit):
 
 * :mod:`repro.graph` — the directed, edge-labelled social graph substrate
   (Definition 1), plus synthetic-network generators and serialization.

@@ -3,7 +3,7 @@
 All exceptions raised by the library derive from :class:`ReproError`, so that
 callers embedding the library can catch a single base class.  Each subsystem
 (graph, policy, reachability, storage) has its own intermediate base class,
-mirroring the package layout described in ``DESIGN.md``.
+mirroring the package layout described in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

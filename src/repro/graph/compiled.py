@@ -17,31 +17,103 @@ Staleness contract
 ------------------
 ``SocialGraph`` stamps every mutation with an ``epoch`` counter.  A snapshot
 remembers the epoch it was compiled at; :func:`compile_graph` returns the
-cached snapshot while the epoch still matches and transparently rebuilds it
-otherwise.  The snapshot is therefore always *lazily* consistent: engines
-that call :func:`compile_graph` per query observe every committed mutation,
-at the cost of one O(|V| + |E|) rebuild per burst of mutations.  Attribute
-dictionaries are shared with the canonical graph (not copied), so reads
-through :meth:`CompiledGraph.attributes_of` always see current values; only
-*structural* interning (node set, label set, adjacency) needs the rebuild.
+cached snapshot while the epoch still matches and transparently brings it up
+to date otherwise.  The snapshot is therefore always *lazily* consistent:
+engines that call :func:`compile_graph` per query observe every committed
+mutation.  Attribute dictionaries are shared with the canonical graph (not
+copied), so reads through :meth:`CompiledGraph.attributes_of` always see
+current values; only *structural* interning (node set, label set, adjacency)
+needs refreshing.
+
+Delta maintenance
+-----------------
+Refreshing used to mean one O(|V| + |E|) rebuild per burst of mutations —
+rebuild-dominated as soon as the workload interleaves writes with queries.
+``SocialGraph`` now keeps a bounded **mutation journal** next to the epoch,
+and :func:`compile_graph` asks it for the exact operations committed since
+the snapshot's epoch.  When the journal covers the gap,
+:meth:`CompiledGraph.apply_deltas` patches the snapshot *in place* in
+O(|delta|):
+
+* **attribute writes** need no structural work at all (the dicts are
+  shared) — the patch is a pure epoch advance plus derived-state policy
+  sweep, which is what makes attribute-hot workloads cheap again;
+* **user adds** append to the interned id maps and extend every CSR offset
+  array by one (amortized O(labels) per user);
+* **edge adds / removes** are queued into per-label **overflow side-tables**
+  and folded into the label's forward/reverse CSR pair by a *compaction*
+  pass — lazily at the label's next adjacency read, or eagerly once the
+  side-table crosses a size threshold.  Compacting label ``l`` costs
+  O(|E_l| + |side-table|), so a churn burst touching few labels never pays
+  for the whole graph, and untouched labels keep their arrays byte-for-byte;
+* **user removals** (and journal overflow, foreign epochs, or any
+  inconsistency) abort the patch — :func:`compile_graph` falls back to the
+  full rebuild, which remains the semantics-defining reference path.
+
+Entries in :attr:`CompiledGraph.derived` declare how deltas affect them via
+:func:`register_derived_policy`: ``"structural"`` entries (the interned line
+index) survive attribute-only patches and are dropped by structural ones,
+``"keep"`` entries manage their own freshness (``degree_statistics``
+refreshes exactly the labels a patch touched), and everything else is
+conservatively dropped by any patch.  Long-lived consumers that require the
+frozen build-time structure (the cluster backend's stale-read contract) call
+:meth:`CompiledGraph.pin`; a pinned snapshot is never patched — the next
+refresh builds a fresh object and leaves the pinned one untouched.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from dataclasses import dataclass
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import Relationship, SocialGraph, UserId
 
-__all__ = ["CompiledGraph", "LabelDegreeStats", "build_csr", "compile_graph"]
+__all__ = [
+    "CompiledGraph",
+    "LabelDegreeStats",
+    "build_csr",
+    "compile_graph",
+    "register_derived_policy",
+]
 
 #: CSR adjacency: ``targets[offsets[u]:offsets[u + 1]]`` are ``u``'s neighbours.
 CSR = Tuple[array, array]
 
 _SNAPSHOT_ATTR = "_compiled_snapshot"
+
+#: Side-table ops queued by :meth:`CompiledGraph.apply_deltas`:
+#: ``(+1, source, target)`` adds the pair, ``(-1, source, target)`` removes it.
+_ADD, _REMOVE = 1, -1
+
+#: A label's overflow side-table is folded into its CSR pair as soon as it
+#: holds this many entries (or a quarter of the label's base edges, whichever
+#: is larger) — bounding both memory and the cost of the next lazy read.
+_COMPACT_FLOOR = 64
+
+#: How mutation deltas affect one :attr:`CompiledGraph.derived` entry.
+#: ``"always"`` (the conservative default for unregistered keys) drops the
+#: entry on any patch; ``"structural"`` keeps it across attribute-only
+#: patches; ``"keep"`` never drops it — the entry manages its own freshness.
+_DERIVED_POLICIES: Dict[str, str] = {}
+
+
+def register_derived_policy(name: str, policy: str) -> None:
+    """Declare how delta patches treat derived entries named ``name``.
+
+    ``name`` matches a ``derived`` key directly, or the first element of a
+    tuple key (the interned line index registers ``"line-index"`` and stores
+    under ``("line-index", orientation)``).  ``policy`` is ``"always"``,
+    ``"structural"`` or ``"keep"`` as described on the module.
+    """
+    if policy not in ("always", "structural", "keep"):
+        raise ValueError(f"unknown derived policy {policy!r}")
+    _DERIVED_POLICIES[name] = policy
+
+
+register_derived_policy("degree_statistics", "keep")  # partial refresh below
 
 
 def build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
@@ -68,6 +140,52 @@ def build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
     return offsets, targets
 
 
+def _stitch_csr(
+    offsets: array,
+    targets: array,
+    adds: Dict[int, List[int]],
+    removes: Dict[int, "Set[int]"],
+) -> CSR:
+    """Apply a small per-row edit set to a CSR pair without a full rebuild.
+
+    Untouched stretches of ``targets`` are moved by C-level slice copies;
+    per-element interpreter work is confined to the edited rows and to one
+    offset-shift pass over the suffix starting at the first edited row.
+    ``adds``/``removes`` must be pre-reconciled: every add is absent from
+    the base row, every remove present in it.
+    """
+    affected = sorted(set(adds) | set(removes))
+    new_targets = array("l")
+    row_delta: List[int] = []
+    prev_end = 0
+    for node in affected:
+        start, end = offsets[node], offsets[node + 1]
+        new_targets += targets[prev_end:start]
+        row = targets[start:end]
+        drop = removes.get(node)
+        if drop:
+            row = array("l", (x for x in row if x not in drop))
+        extra = adds.get(node)
+        if extra:
+            row += array("l", extra)
+        new_targets += row
+        row_delta.append(len(row) - (end - start))
+        prev_end = end
+    new_targets += targets[prev_end:]
+
+    new_offsets = array("l", offsets)  # C-level copy; suffix rewritten below
+    last = len(offsets) - 1
+    shift = 0
+    for position, node in enumerate(affected):
+        shift += row_delta[position]
+        next_node = affected[position + 1] if position + 1 < len(affected) else last
+        if shift:
+            new_offsets[node + 1:next_node + 1] = array(
+                "l", (value + shift for value in offsets[node + 1:next_node + 1])
+            )
+    return new_offsets, new_targets
+
+
 @dataclass(frozen=True)
 class LabelDegreeStats:
     """Degree statistics of one relationship label at snapshot time.
@@ -86,7 +204,15 @@ class LabelDegreeStats:
 
 
 class CompiledGraph:
-    """A frozen, integer-interned CSR snapshot of one :class:`SocialGraph`."""
+    """An integer-interned CSR snapshot of one :class:`SocialGraph`.
+
+    Structurally frozen between refreshes: queries between two mutations see
+    one immutable view.  A refresh either patches the snapshot in place
+    through :meth:`apply_deltas` (journal-covered mutation bursts) or
+    replaces it with a fresh build — see the module docstring for the
+    contract, and :meth:`pin` for consumers that must keep the build-time
+    structure forever.
+    """
 
     __slots__ = (
         "graph",
@@ -101,6 +227,13 @@ class CompiledGraph:
         "_forward_all",
         "_backward_all",
         "derived",
+        "_pending",
+        "_merged_pending",
+        "_merged_dirty",
+        "_stats_dirty",
+        "_stats_nodes",
+        "_pinned",
+        "delta_events",
     )
 
     def __init__(self, graph: SocialGraph) -> None:
@@ -149,14 +282,51 @@ class CompiledGraph:
         )
         #: derived per-snapshot indexes (e.g. the interned line index),
         #: keyed by the deriving module; they share this snapshot's lifetime,
-        #: so epoch-based invalidation comes for free.
+        #: so epoch-based invalidation comes for free.  Delta patches sweep
+        #: the dict through :func:`register_derived_policy`.
         self.derived: Dict[Any, Any] = {}
+        # Delta-maintenance state: per-label overflow side-tables of queued
+        # (+1/-1, source, target) ops, dirtiness of the merged adjacency and
+        # of per-label degree statistics, and the pin flag.
+        self._pending: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._merged_pending: List[Tuple[int, int]] = []
+        self._merged_dirty = False
+        self._stats_dirty: Set[int] = set()
+        self._stats_nodes = len(self.node_ids)
+        self._pinned = False
+        #: Counters for benchmarks/tests: patches applied, ops absorbed,
+        #: side-table compactions performed.
+        self.delta_events: Dict[str, int] = {
+            "applies": 0,
+            "ops": 0,
+            "label_compactions": 0,
+            "merged_compactions": 0,
+        }
 
     # -------------------------------------------------------------- identity
 
     def is_stale(self) -> bool:
         """Whether the canonical graph has mutated since this snapshot was built."""
         return self.epoch != getattr(self.graph, "epoch", self.epoch)
+
+    @property
+    def pinned(self) -> bool:
+        """Whether :meth:`pin` excluded this snapshot from in-place patching."""
+        return self._pinned
+
+    def pin(self) -> "CompiledGraph":
+        """Freeze this snapshot's structure for its remaining lifetime.
+
+        A pinned snapshot is never patched by :meth:`apply_deltas` through
+        :func:`compile_graph`: once the graph mutates, the next refresh
+        builds a *new* snapshot object and this one keeps the build-time
+        structure forever.  Long-lived consumers with stale-read semantics
+        (the cluster index answers every query from the snapshot captured at
+        ``build()``) pin so that delta maintenance for everyone else cannot
+        mutate the state they hold.  Returns ``self`` for chaining.
+        """
+        self._pinned = True
+        return self
 
     def number_of_nodes(self) -> int:
         """Return ``|V|`` at snapshot time."""
@@ -188,15 +358,29 @@ class CompiledGraph:
     # ------------------------------------------------------------- adjacency
 
     def forward(self, label_id: Optional[int] = None) -> CSR:
-        """Return the forward CSR ``(offsets, targets)`` for one label (or merged)."""
+        """Return the forward CSR ``(offsets, targets)`` for one label (or merged).
+
+        Reading an adjacency folds any pending overflow side-table into the
+        label's CSR pair first (lazy compaction), so the returned arrays are
+        always complete — consumers iterate them raw, exactly as before
+        delta maintenance existed.
+        """
         if label_id is None:
+            if self._merged_dirty:
+                self._compact_merged()
             return self._forward_all
+        if self._pending.get(label_id):
+            self._compact_label(label_id)
         return self._forward[label_id]
 
     def backward(self, label_id: Optional[int] = None) -> CSR:
         """Return the reverse CSR ``(offsets, sources)`` for one label (or merged)."""
         if label_id is None:
+            if self._merged_dirty:
+                self._compact_merged()
             return self._backward_all
+        if self._pending.get(label_id):
+            self._compact_label(label_id)
         return self._backward[label_id]
 
     def out_neighbors(self, index: int, label_id: Optional[int] = None) -> array:
@@ -224,41 +408,304 @@ class CompiledGraph:
         offsets, _targets = self.forward(label_id)
         return offsets[-1]
 
+    def _label_degree_row(self, label_id: int, label: str, node_count: int) -> LabelDegreeStats:
+        """One O(|V|) offset scan producing a label's degree-statistics row."""
+        offsets, _targets = self.forward(label_id)
+        reverse_offsets, _sources = self.backward(label_id)
+        edges = offsets[-1]
+        max_out = max(
+            (offsets[i + 1] - offsets[i] for i in range(len(offsets) - 1)),
+            default=0,
+        )
+        max_in = max(
+            (
+                reverse_offsets[i + 1] - reverse_offsets[i]
+                for i in range(len(reverse_offsets) - 1)
+            ),
+            default=0,
+        )
+        return LabelDegreeStats(label, edges, edges / node_count, max_out, max_in)
+
     def degree_statistics(self) -> Tuple[LabelDegreeStats, ...]:
         """Per-label degree statistics, indexed by label id.
 
-        Computed once per snapshot (one O(|V|) offset scan per label) and
-        cached in :attr:`derived`, so epoch-based invalidation is inherited.
+        Cached in :attr:`derived` under a ``"keep"`` delta policy: patches
+        never drop the tuple wholesale — edge deltas mark exactly the labels
+        they touched and only those rows are recomputed (one O(|V|) offset
+        scan each) at the next read; user adds refresh the cheap per-row
+        means; attribute-only patches return the cached tuple untouched.
         The audience direction planner reads these to decide forward vs
         reverse sweeps.
         """
-        stats: Optional[Tuple[LabelDegreeStats, ...]] = self.derived.get(
+        cached: Optional[Tuple[LabelDegreeStats, ...]] = self.derived.get(
             "degree_statistics"
         )
-        if stats is None:
-            node_count = max(1, len(self.node_ids))
-            rows = []
-            for label_id, label in enumerate(self.labels):
-                offsets, _targets = self._forward[label_id]
-                reverse_offsets, _sources = self._backward[label_id]
-                edges = offsets[-1]
-                max_out = max(
-                    (offsets[i + 1] - offsets[i] for i in range(len(offsets) - 1)),
-                    default=0,
-                )
-                max_in = max(
-                    (
-                        reverse_offsets[i + 1] - reverse_offsets[i]
-                        for i in range(len(reverse_offsets) - 1)
-                    ),
-                    default=0,
-                )
-                rows.append(
-                    LabelDegreeStats(label, edges, edges / node_count, max_out, max_in)
-                )
-            stats = tuple(rows)
-            self.derived["degree_statistics"] = stats
+        node_count = max(1, len(self.node_ids))
+        if (
+            cached is not None
+            and not self._stats_dirty
+            and len(cached) == len(self.labels)
+            and self._stats_nodes == node_count
+        ):
+            return cached
+        rows = []
+        for label_id, label in enumerate(self.labels):
+            if (
+                cached is not None
+                and label_id < len(cached)
+                and label_id not in self._stats_dirty
+            ):
+                row = cached[label_id]
+                if self._stats_nodes != node_count:
+                    row = LabelDegreeStats(
+                        row.label, row.edges, row.edges / node_count,
+                        row.max_out_degree, row.max_in_degree,
+                    )
+                rows.append(row)
+                continue
+            rows.append(self._label_degree_row(label_id, label, node_count))
+        stats = tuple(rows)
+        self.derived["degree_statistics"] = stats
+        self._stats_dirty = set()
+        self._stats_nodes = node_count
         return stats
+
+    # ------------------------------------------------------ delta maintenance
+
+    def apply_deltas(self, deltas: Sequence[Tuple[Any, ...]]) -> bool:
+        """Patch this snapshot in place with a journal-covered mutation burst.
+
+        ``deltas`` is what :meth:`SocialGraph.mutations_since` returned for
+        the span between this snapshot's epoch and the live one, oldest
+        first.  Returns ``True`` when the patch succeeded (the snapshot's
+        epoch now matches the graph's); ``False`` when the burst cannot be
+        absorbed — a user removal, an operation referencing unknown state,
+        or any internal inconsistency — in which case the caller must fall
+        back to a full rebuild and discard this object.  A failed patch may
+        leave the snapshot between epochs, but ``is_stale()`` then stays
+        true, so no consumer that checks freshness can observe it.
+
+        Cost: O(|delta|) bookkeeping per call.  Edge ops are queued into
+        per-label overflow side-tables; the CSR fold-in (compaction) is
+        deferred to each label's next adjacency read, or triggered here once
+        a side-table crosses its size threshold.
+        """
+        if self._pinned:
+            return False
+        for op in deltas:
+            if op[0] == "remove_user":
+                return False
+        try:
+            structural = False
+            for op in deltas:
+                kind = op[0]
+                if kind == "update_user":
+                    continue  # attribute dicts are shared: nothing to patch
+                structural = True
+                if kind == "add_user":
+                    self._patch_add_user(op[1])
+                elif kind == "add_edge":
+                    self._patch_edge(_ADD, op[1], op[2], op[3])
+                elif kind == "remove_edge":
+                    self._patch_edge(_REMOVE, op[1], op[2], op[3])
+                else:
+                    return False
+        except (KeyError, IndexError):
+            return False
+        self._sweep_derived(structural)
+        self.epoch = getattr(self.graph, "epoch", self.epoch)
+        self.delta_events["applies"] += 1
+        self.delta_events["ops"] += len(deltas)
+        return True
+
+    def _patch_add_user(self, user: UserId) -> None:
+        """Intern one added user: extend the id maps and every offset array."""
+        if user in self.node_index:
+            raise KeyError(user)  # journal out of sync with the snapshot
+        index = len(self.node_ids)
+        self.node_ids.append(user)
+        self.node_index[user] = index
+        self.attrs.append(self.graph._nodes[user])
+        for csr_list in (self._forward, self._backward):
+            for offsets, _targets in csr_list:
+                offsets.append(offsets[-1])
+        self._forward_all[0].append(self._forward_all[0][-1])
+        self._backward_all[0].append(self._backward_all[0][-1])
+
+    def _patch_edge(self, op: int, source: UserId, target: UserId, label: str) -> None:
+        """Queue one edge mutation into its label's overflow side-table."""
+        source_index = self.node_index[source]
+        target_index = self.node_index[target]
+        label_id = self.label_index.get(label)
+        if label_id is None:
+            label_id = self._intern_label(label)
+        pending = self._pending.setdefault(label_id, [])
+        pending.append((op, source_index, target_index))
+        self._merged_pending.append((source_index, target_index))
+        self._merged_dirty = True
+        self._stats_dirty.add(label_id)
+        base_edges = self._forward[label_id][0][-1]
+        if len(pending) >= max(_COMPACT_FLOOR, base_edges >> 2):
+            self._compact_label(label_id)
+
+    def _intern_label(self, label: str) -> int:
+        """Extend the label alphabet with a label first seen after the build."""
+        label_id = len(self.labels)
+        self.labels = self.labels + (label,)
+        self.label_index[label] = label_id
+        count = len(self.node_ids)
+        empty_offsets = array("l", [0]) * (count + 1)
+        self._forward.append((empty_offsets, array("l")))
+        self._backward.append((array("l", empty_offsets), array("l")))
+        return label_id
+
+    def _compact_label(self, label_id: int) -> None:
+        """Fold a label's overflow side-table into its CSR pair.
+
+        The queued ops are first reduced to their net effect per pair (the
+        last op wins — the graph's no-duplicate-edge invariant makes
+        interleaved add/remove sequences alternate) and reconciled against
+        the base CSR with one O(degree) row probe each.  A *small* net delta
+        is then **stitched**: untouched stretches of the targets array are
+        copied wholesale (C-level slice copies) and per-element Python work
+        is limited to the edited rows plus one O(|V|) offset-shift pass —
+        O(|V| + |side-table|) interpreter steps instead of O(|V| + |E_l|).
+        Past half the label's base edges the stitch loses to a plain
+        counting-sort rebuild of the label, so the fold falls back to that.
+        """
+        pending = self._pending.get(label_id)
+        if not pending:
+            return
+        net: Dict[Tuple[int, int], int] = {}
+        for op, source, target in pending:
+            net[(source, target)] = op
+        offsets, targets = self._forward[label_id]
+        # Reconcile against the base: an op whose outcome the base already
+        # reflects (remove-then-re-add of a base edge, add-then-remove of a
+        # new one) is dropped here, so the stitch sees only real edits.
+        adds: Dict[int, List[int]] = {}
+        removes: Dict[int, Set[int]] = {}
+        add_count = remove_count = 0
+        for (source, target), op in net.items():
+            row = targets[offsets[source]:offsets[source + 1]]
+            present = target in row
+            if op == _ADD and not present:
+                adds.setdefault(source, []).append(target)
+                add_count += 1
+            elif op == _REMOVE and present:
+                removes.setdefault(source, set()).add(target)
+                remove_count += 1
+        if add_count + remove_count == 0:
+            self._pending[label_id] = []
+            return
+        base_edges = offsets[-1]
+        if (add_count + remove_count) * 2 > base_edges:
+            # Threshold fallback: rebuild the label from scratch by counting
+            # sort — cheaper than stitching a delta of comparable size.
+            pairs: List[Tuple[int, int]] = []
+            for source in range(len(offsets) - 1):
+                drop = removes.get(source)
+                for cursor in range(offsets[source], offsets[source + 1]):
+                    target = targets[cursor]
+                    if drop is None or target not in drop:
+                        pairs.append((source, target))
+            for source, extra in adds.items():
+                pairs.extend((source, target) for target in extra)
+            count = len(self.node_ids)
+            self._forward[label_id] = build_csr(pairs, count)
+            self._backward[label_id] = build_csr(
+                [(target, source) for source, target in pairs], count
+            )
+        else:
+            self._forward[label_id] = _stitch_csr(offsets, targets, adds, removes)
+            backward_adds: Dict[int, List[int]] = {}
+            for source, extra in adds.items():
+                for target in extra:
+                    backward_adds.setdefault(target, []).append(source)
+            backward_removes: Dict[int, Set[int]] = {}
+            for source, drop in removes.items():
+                for target in drop:
+                    backward_removes.setdefault(target, set()).add(source)
+            reverse_offsets, reverse_targets = self._backward[label_id]
+            self._backward[label_id] = _stitch_csr(
+                reverse_offsets, reverse_targets, backward_adds, backward_removes
+            )
+        self._pending[label_id] = []
+        self.delta_events["label_compactions"] += 1
+
+    def _compact_merged(self) -> None:
+        """Bring the merged (label-collapsed) adjacency up to date.
+
+        The merged view holds one entry per distinct ``(source, target)``
+        pair across all labels, so an edge delta's effect on it depends on
+        the *other* labels too.  The queued candidate pairs are resolved
+        authoritatively against the (freshly compacted) per-label CSRs —
+        present anywhere vs present in the merged base — and the small net
+        edit is stitched exactly like a label compaction.  Only when the
+        candidate set rivals the merged size does this fall back to the full
+        per-element rebuild, so a burst touching few edges never pays
+        O(|E|) interpreter work for the merged view either.
+        """
+        pending = self._merged_pending
+        self._merged_pending = []
+        count = len(self.node_ids)
+        offsets, targets = self._forward_all
+        candidates = set(pending)
+        if candidates and len(candidates) * 2 <= offsets[-1]:
+            label_csrs = [
+                self.forward(label_id) for label_id in range(len(self.labels))
+            ]  # compacts every dirty label first
+            adds: Dict[int, List[int]] = {}
+            removes: Dict[int, Set[int]] = {}
+            for source, target in candidates:
+                anywhere = any(
+                    target in label_targets[label_offsets[source]:label_offsets[source + 1]]
+                    for label_offsets, label_targets in label_csrs
+                )
+                merged = target in targets[offsets[source]:offsets[source + 1]]
+                if anywhere and not merged:
+                    adds.setdefault(source, []).append(target)
+                elif merged and not anywhere:
+                    removes.setdefault(source, set()).add(target)
+            if adds or removes:
+                self._forward_all = _stitch_csr(offsets, targets, adds, removes)
+                backward_adds: Dict[int, List[int]] = {}
+                for source, extra in adds.items():
+                    for target in extra:
+                        backward_adds.setdefault(target, []).append(source)
+                backward_removes: Dict[int, Set[int]] = {}
+                for source, drop in removes.items():
+                    for target in drop:
+                        backward_removes.setdefault(target, set()).add(source)
+                reverse_offsets, reverse_targets = self._backward_all
+                self._backward_all = _stitch_csr(
+                    reverse_offsets, reverse_targets, backward_adds, backward_removes
+                )
+        else:
+            distinct: Set[Tuple[int, int]] = set()
+            for label_id in range(len(self.labels)):
+                label_offsets, label_targets = self.forward(label_id)
+                for source in range(len(label_offsets) - 1):
+                    for cursor in range(label_offsets[source], label_offsets[source + 1]):
+                        distinct.add((source, label_targets[cursor]))
+            pairs = list(distinct)
+            self._forward_all = build_csr(pairs, count)
+            self._backward_all = build_csr(
+                [(target, source) for source, target in pairs], count
+            )
+        self._merged_dirty = False
+        self.delta_events["merged_compactions"] += 1
+
+    def _sweep_derived(self, structural: bool) -> None:
+        """Apply the registered invalidation policies to ``derived`` entries."""
+        for key in list(self.derived):
+            name = key[0] if isinstance(key, tuple) else key
+            policy = _DERIVED_POLICIES.get(name, "always")
+            if policy == "keep":
+                continue
+            if policy == "structural" and not structural:
+                continue
+            del self.derived[key]
 
     # --------------------------------------------------------------- witness
 
@@ -280,13 +727,28 @@ class CompiledGraph:
 
 
 def compile_graph(graph: SocialGraph) -> CompiledGraph:
-    """Return the (lazily rebuilt) compiled snapshot of ``graph``.
+    """Return the (lazily refreshed) compiled snapshot of ``graph``.
 
     The snapshot is cached on the graph instance and reused until the graph's
     ``epoch`` moves, so repeated queries between mutations share one build.
+    When the epoch has moved, the graph's mutation journal is consulted
+    first: a journal-covered gap is absorbed by
+    :meth:`CompiledGraph.apply_deltas` in O(|delta|) — same object, patched
+    in place — and only journal overflow, user removals or a
+    :meth:`pinned <CompiledGraph.pin>` snapshot fall back to the full
+    O(|V| + |E|) rebuild (a fresh object, as before).
     """
     snapshot: Optional[CompiledGraph] = getattr(graph, _SNAPSHOT_ATTR, None)
-    if snapshot is None or snapshot.is_stale():
-        snapshot = CompiledGraph(graph)
-        setattr(graph, _SNAPSHOT_ATTR, snapshot)
+    if snapshot is not None:
+        if not snapshot.is_stale():
+            return snapshot
+        if not snapshot.pinned:
+            mutations_since = getattr(graph, "mutations_since", None)
+            deltas = (
+                mutations_since(snapshot.epoch) if mutations_since is not None else None
+            )
+            if deltas is not None and snapshot.apply_deltas(deltas):
+                return snapshot
+    snapshot = CompiledGraph(graph)
+    setattr(graph, _SNAPSHOT_ATTR, snapshot)
     return snapshot

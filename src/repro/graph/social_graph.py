@@ -22,14 +22,17 @@ helpers to/from networkx are provided for interoperability and testing.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Deque,
     Dict,
     Hashable,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Optional,
     Tuple,
@@ -45,6 +48,16 @@ from repro.exceptions import (
 __all__ = ["AttributeMap", "Relationship", "SocialGraph", "raw_attributes_getter"]
 
 UserId = Hashable
+
+#: One journal record: the operation tag plus its identifying operands.
+#: ``("add_user", u)`` / ``("remove_user", u)`` / ``("update_user", u)`` /
+#: ``("add_edge", u, v, label)`` / ``("remove_edge", u, v, label)``.
+MutationOp = Tuple[Any, ...]
+
+#: Default bound of the mutation journal (entries, not epochs).  Large enough
+#: to absorb a realistic churn burst between two snapshot refreshes, small
+#: enough that an idle graph never hoards memory.
+DEFAULT_JOURNAL_LIMIT = 4096
 
 
 def raw_attributes_getter(graph):
@@ -75,11 +88,12 @@ class AttributeMap(MutableMapping):
     decisions behind.
     """
 
-    __slots__ = ("_graph", "_data")
+    __slots__ = ("_graph", "_data", "_user")
 
-    def __init__(self, graph: "SocialGraph", data: Dict[str, Any]) -> None:
+    def __init__(self, graph: "SocialGraph", data: Dict[str, Any], user: UserId = None) -> None:
         self._graph = graph
         self._data = data
+        self._user = user
 
     # Reads delegate without touching the epoch.
 
@@ -95,15 +109,15 @@ class AttributeMap(MutableMapping):
     def __contains__(self, key: object) -> bool:
         return key in self._data
 
-    # Writes are real graph mutations: bump the epoch.
+    # Writes are real graph mutations: bump the epoch (and the journal).
 
     def __setitem__(self, key: str, value: Any) -> None:
         self._data[key] = value
-        self._graph._epoch += 1
+        self._graph._record("update_user", self._user)
 
     def __delitem__(self, key: str) -> None:
         del self._data[key]
-        self._graph._epoch += 1
+        self._graph._record("update_user", self._user)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, AttributeMap):
@@ -163,7 +177,7 @@ class SocialGraph:
     True
     """
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", *, journal_limit: int = DEFAULT_JOURNAL_LIMIT) -> None:
         self.name = name
         self._nodes: Dict[UserId, Dict[str, Any]] = {}
         # _succ[u][v][label] -> Relationship ; _pred mirrors it for reverse walks.
@@ -172,8 +186,15 @@ class SocialGraph:
         self._num_edges = 0
         self._label_counts: Dict[str, int] = {}
         self._epoch = 0
+        # Bounded mutation journal: (epoch after the mutation, operation).
+        # The journal is *complete* for every epoch in (_journal_floor, epoch];
+        # once an entry falls off the left end the floor advances and older
+        # snapshots can no longer be patched — they rebuild from scratch.
+        self._journal: Deque[Tuple[int, MutationOp]] = deque()
+        self._journal_limit = max(0, journal_limit)
+        self._journal_floor = 0
 
-    # ---------------------------------------------------------------- epochs
+    # ---------------------------------------------------- epochs and journal
 
     @property
     def epoch(self) -> int:
@@ -186,6 +207,57 @@ class SocialGraph:
         :meth:`attributes`.
         """
         return self._epoch
+
+    @property
+    def journal_limit(self) -> int:
+        """The journal's entry bound; ``0`` disables journaling entirely.
+
+        Assigning a new limit clears the journal and advances its floor to
+        the current epoch, so coverage never spans a reconfiguration.  The
+        churn benchmarks set ``journal_limit = 0`` to force every snapshot
+        refresh down the full-rebuild path.
+        """
+        return self._journal_limit
+
+    @journal_limit.setter
+    def journal_limit(self, limit: int) -> None:
+        self._journal_limit = max(0, limit)
+        self._journal.clear()
+        self._journal_floor = self._epoch
+
+    def _record(self, *op: Any) -> None:
+        """Commit one mutation: bump the epoch and journal the operation.
+
+        Every mutating path funnels through here — the structural methods
+        and :class:`AttributeMap` write-through alike — so the journal is
+        exactly as complete as the epoch is monotone.
+        """
+        self._epoch += 1
+        if not self._journal_limit:
+            self._journal_floor = self._epoch
+            return
+        self._journal.append((self._epoch, op))
+        if len(self._journal) > self._journal_limit:
+            self._journal_floor = self._journal.popleft()[0]
+
+    def mutations_since(self, epoch: int) -> Optional[List[MutationOp]]:
+        """Return the mutations committed after ``epoch``, oldest first.
+
+        Returns ``None`` when the journal cannot prove completeness for the
+        span ``(epoch, self.epoch]`` — the journal overflowed past ``epoch``,
+        ``epoch`` is from another graph's timeline, or an epoch bump bypassed
+        the journal (a defensive contiguity check).  ``None`` tells
+        :func:`~repro.graph.compiled.compile_graph` to fall back to a full
+        snapshot rebuild; a (possibly empty) list is a complete delta.
+        """
+        if epoch == self._epoch:
+            return []
+        if epoch < self._journal_floor or epoch > self._epoch:
+            return None
+        ops = [op for entry_epoch, op in self._journal if entry_epoch > epoch]
+        if len(ops) != self._epoch - epoch:
+            return None
+        return ops
 
     # ------------------------------------------------------------------ users
 
@@ -200,7 +272,7 @@ class SocialGraph:
         self._nodes[user] = dict(attributes)
         self._succ[user] = {}
         self._pred[user] = {}
-        self._epoch += 1
+        self._record("add_user", user)
 
     def ensure_user(self, user: UserId, **attributes: Any) -> None:
         """Add the user if missing, merging ``attributes`` into existing ones."""
@@ -208,22 +280,28 @@ class SocialGraph:
             self.add_user(user, **attributes)
         elif attributes:
             self._nodes[user].update(attributes)
-            self._epoch += 1
+            self._record("update_user", user)
 
     def update_user(self, user: UserId, **attributes: Any) -> None:
         """Merge ``attributes`` into an existing user's attribute tuple."""
         self._nodes[self._require(user)].update(attributes)
-        self._epoch += 1
+        self._record("update_user", user)
 
     def remove_user(self, user: UserId) -> None:
         """Remove a user and every relationship incident to it."""
         self._require(user)
-        for rel in list(self.out_relationships(user)) + list(self.in_relationships(user)):
+        # A self-loop shows up in both incidence lists; deduplicate by key so
+        # it is removed exactly once.
+        incident = {
+            rel.key(): rel
+            for rel in list(self.out_relationships(user)) + list(self.in_relationships(user))
+        }
+        for rel in incident.values():
             self.remove_relationship(rel.source, rel.target, rel.label)
         del self._nodes[user]
         del self._succ[user]
         del self._pred[user]
-        self._epoch += 1
+        self._record("remove_user", user)
 
     def has_user(self, user: UserId) -> bool:
         """Return whether ``user`` is a node of the graph."""
@@ -241,7 +319,7 @@ class SocialGraph:
         cached decisions and condition memos are invalidated, same as
         :meth:`update_user`.
         """
-        return AttributeMap(self, self._nodes[self._require(user)])
+        return AttributeMap(self, self._nodes[self._require(user)], user)
 
     def raw_attributes(self, user: UserId) -> Dict[str, Any]:
         """Return the raw attribute dict of ``user`` — read-only by convention.
@@ -289,7 +367,7 @@ class SocialGraph:
         self._pred[target].setdefault(source, {})[rel.label] = rel
         self._num_edges += 1
         self._label_counts[rel.label] = self._label_counts.get(rel.label, 0) + 1
-        self._epoch += 1
+        self._record("add_edge", source, target, rel.label)
         if reciprocal and not self.has_relationship(target, source, label):
             self.add_relationship(target, source, label, **attributes)
         return rel
@@ -310,7 +388,7 @@ class SocialGraph:
         self._label_counts[rel.label] -= 1
         if not self._label_counts[rel.label]:
             del self._label_counts[rel.label]
-        self._epoch += 1
+        self._record("remove_edge", source, target, rel.label)
 
     def has_relationship(self, source: UserId, target: UserId, label: Optional[str] = None) -> bool:
         """Return whether a relationship exists from ``source`` to ``target``.

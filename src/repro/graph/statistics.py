@@ -1,7 +1,7 @@
 """Descriptive statistics of social graphs.
 
 Used by the benchmark harness to characterize generated workloads (so that
-EXPERIMENTS.md can report the shape of each synthetic dataset) and by the
+docs/benchmarks.md can report the shape of each synthetic dataset) and by the
 examples to print a quick summary of the network being protected.
 """
 

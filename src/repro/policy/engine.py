@@ -16,6 +16,22 @@ Design points:
   this is configurable (``default_effect``).
 * Decisions are explained (matched rules, witness paths) and can be recorded
   in an :class:`~repro.policy.audit.AuditLog`.
+
+Caching and bulk evaluation
+---------------------------
+``check_access`` evaluates each access condition through the inner
+:class:`~repro.reachability.engine.ReachabilityEngine`, so it inherits that
+facade's cache-invalidation contract verbatim: decisions are memoized under
+the graph's mutation ``epoch`` (any committed mutation — structural or an
+attribute write through ``graph.attributes(u)`` — invalidates them), and
+constructor keyword ``cache_size=0`` disables the memo.  The bulk
+:meth:`AccessControlEngine.authorized_audiences` groups access conditions
+across the requested resources by path expression and answers each group
+with one multi-source owner-bitset sweep; ``direction=`` pins that sweep's
+planner and the executed per-expression
+:class:`~repro.reachability.compiled_search.SweepPlan` objects are recorded
+in :attr:`AccessControlEngine.last_audience_plans` (empty for expressions
+served entirely from the memo).
 """
 
 from __future__ import annotations

@@ -14,11 +14,14 @@ large graphs.
 By default the search runs on the graph's compiled CSR snapshot
 (:mod:`repro.graph.compiled`): user ids and labels are interned to dense
 integers, the product walk touches only ``array('l')`` adjacency, and witness
-paths are reconstructed into :class:`Relationship` objects on demand.  Pass
-``compiled=False`` (or a duck-typed graph that is not a
-:class:`SocialGraph`) to fall back to the legacy dict-of-dicts traversal —
-the benchmark harness compares the two, and the test suite checks their
-equivalence.
+paths are reconstructed into :class:`Relationship` objects on demand.  The
+snapshot is acquired per query through ``compile_graph``, so under churn the
+evaluator rides the delta-maintenance path: a journal-covered mutation burst
+is absorbed in O(|delta|) and only the first query touching a mutated label
+pays that label's side-table compaction.  Pass ``compiled=False`` (or a
+duck-typed graph that is not a :class:`SocialGraph`) to fall back to the
+legacy dict-of-dicts traversal — the benchmark harness compares the two, and
+the test suite checks their equivalence.
 """
 
 from __future__ import annotations

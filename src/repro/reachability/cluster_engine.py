@@ -18,7 +18,7 @@ proceeds exactly as the paper describes:
    one edge).
 
 Two deviations from a literal reading of the paper, made for tractability
-and recorded in DESIGN.md:
+and recorded in docs/architecture.md:
 
 * tuples are assembled left-to-right with the adjacency check applied
   *while* chaining join pairs instead of only after full tuples are
@@ -128,6 +128,12 @@ class ClusterIndexEvaluator:
             self._index = interned_line_index(
                 self.graph, include_reverse=self.include_reverse, refresh=True
             )
+            # This evaluator answers every query from the build-time
+            # snapshot (stale-read semantics).  Pin it so delta maintenance
+            # for the online backends never patches the structure this
+            # index's dense arrays were derived from — after the next
+            # mutation, compile_graph() hands everyone else a fresh object.
+            self._index.snapshot.pin()
         else:
             self._index = None
         self._built = True

@@ -517,6 +517,12 @@ _FLIPPED_DIRECTION = {
     Direction.ANY: Direction.ANY,
 }
 
+# Reversed automata live on snapshot.derived under the conservative default
+# delta policy ("always"): any in-place patch drops the cache, and the
+# live-epoch check below additionally covers snapshots that outlive graph
+# mutations (the cluster backend's pinned build-time snapshot) — compiled
+# automata memoize per-(step, node) condition outcomes and must never serve
+# values frozen at an earlier epoch.
 _REVERSED_AUTOMATA_KEY = "compiled_search.reversed_automata"
 
 

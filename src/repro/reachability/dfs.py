@@ -10,7 +10,10 @@ not hit Python's recursion limit.
 
 Like the BFS evaluator, the search runs on the graph's compiled CSR snapshot
 by default (``compiled=False`` restores the legacy dict traversal); the two
-modes are equivalent and only differ in constant factors.
+modes are equivalent and only differ in constant factors.  Snapshot
+acquisition is per query through ``compile_graph`` and therefore inherits
+delta maintenance under churn, exactly as described in
+:mod:`repro.reachability.bfs`.
 """
 
 from __future__ import annotations

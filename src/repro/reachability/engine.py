@@ -18,6 +18,35 @@ queries:
 :func:`create_evaluator` builds any of them by name;
 :class:`ReachabilityEngine` wraps one backend behind a stable facade used by
 the access-control engine, the examples and the benchmark harness.
+
+Cache-invalidation contract
+---------------------------
+The facade's memos are correct because every layer observes one rule: a
+derived result is served only while ``graph.epoch`` — bumped by *every*
+committed mutation, including writes through the live mapping returned by
+``graph.attributes(u)`` — still equals the epoch the result was computed at.
+
+* The **decision memo** (``(source, target, expression text, witness?)``)
+  and the **target-set memo** (``(source, expression text)``) are cleared
+  wholesale the first time a call observes a moved epoch; entries are LRU
+  with capacity ``cache_size``.  ``cache_size=0`` disables both memos (no
+  entries, no hit/miss accounting) — benchmarks use it to measure raw
+  backend cost.  The **parse cache** (expression text to parsed
+  :class:`~repro.policy.path_expression.PathExpression`) is pure and never
+  invalidated.
+* Under the facade, ``compile_graph`` keeps the CSR snapshot fresh the same
+  way — since the delta-maintenance layer (see :mod:`repro.graph.compiled`)
+  it absorbs journal-covered mutation bursts in O(|delta|) instead of
+  rebuilding, without changing anything observable here.
+* :meth:`ReachabilityEngine.find_targets_many` serves warm owners from the
+  target-set memo and sweeps only the misses.  ``direction=`` pins the
+  audience sweep planner (``"auto"`` | ``"forward"`` | ``"reverse"`` |
+  ``"batched"``) and is validated even when everything is served from
+  cache; the executed
+  :class:`~repro.reachability.compiled_search.SweepPlan` is recorded on
+  :attr:`ReachabilityEngine.last_sweep_plan`, which is ``None`` whenever
+  the most recent call swept nothing (fully warm cache, or no batched call
+  yet).
 """
 
 from __future__ import annotations

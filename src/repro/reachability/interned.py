@@ -37,7 +37,12 @@ from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReachabilityError
-from repro.graph.compiled import CompiledGraph, build_csr, compile_graph
+from repro.graph.compiled import (
+    CompiledGraph,
+    build_csr,
+    compile_graph,
+    register_derived_policy,
+)
 from repro.graph.paths import Traversal
 from repro.graph.social_graph import SocialGraph
 
@@ -50,6 +55,12 @@ __all__ = [
 
 FORWARD_BYTE = 1
 REVERSE_BYTE = 0
+
+# The line index is purely structural (labels, directions, endpoints — no
+# attribute state), so delta patches that only touch attributes keep it;
+# edge or user deltas drop the cached entries and the next
+# interned_line_index() call rebuilds just the orientation it is asked for.
+register_derived_policy("line-index", "structural")
 
 
 def tarjan_scc_dense(

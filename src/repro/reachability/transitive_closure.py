@@ -9,6 +9,11 @@ and the storage cost is O(|E|^2)" (Section 1).
 :class:`TransitiveClosureIndex` materializes exactly that: for every user the
 set of users reachable from it, globally and per relationship type, in both
 directions.  Plain reachability questions are answered with one set lookup.
+The build sweeps over ``compile_graph``'s snapshot (acquired once at
+``build()`` time; under churn the acquisition itself may be a delta patch of
+the shared snapshot rather than a rebuild), and the closure's contents are
+copied out into plain sets — the index is a frozen build-time artifact
+either way, while the inner constrained BFS always sees the live graph.
 :class:`TransitiveClosureEvaluator` layers the ordered label-constraint
 semantics on top: the closure is used to *prune* (if the requester is not
 reachable at all, or not reachable in the filtered per-label closures, the

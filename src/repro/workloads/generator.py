@@ -22,7 +22,38 @@ from repro.graph.generators import (
 )
 from repro.graph.social_graph import SocialGraph
 
-__all__ = ["WorkloadSpec", "Workload", "GRAPH_FAMILIES", "build_graph", "build_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "GRAPH_FAMILIES",
+    "ChurnOp",
+    "apply_churn_op",
+    "build_graph",
+    "build_workload",
+]
+
+#: One churn operation, executable against the workload graph in burst
+#: order: ``("add_edge", u, v, label)`` / ``("remove_edge", u, v, label)`` /
+#: ``("set_attribute", u, key, value)``.
+ChurnOp = Tuple
+
+
+def apply_churn_op(graph: SocialGraph, op: ChurnOp) -> None:
+    """Execute one churn operation through the public mutation API.
+
+    Bursts are generated against a simulation of the graph's edge set, so
+    replaying them *in order* is always valid; each call commits exactly one
+    epoch bump (and one journal entry) per operation.
+    """
+    kind = op[0]
+    if kind == "add_edge":
+        graph.add_relationship(op[1], op[2], op[3])
+    elif kind == "remove_edge":
+        graph.remove_relationship(op[1], op[2], op[3])
+    elif kind == "set_attribute":
+        graph.update_user(op[1], **{op[2]: op[3]})
+    else:
+        raise ValueError(f"unknown churn operation {op!r}")
 
 
 GRAPH_FAMILIES: Dict[str, Callable[..., SocialGraph]] = {
@@ -42,6 +73,15 @@ class WorkloadSpec:
     ``audience_batch_size`` resources each, meant to be answered by one
     :meth:`~repro.policy.engine.AccessControlEngine.authorized_audiences`
     call per group — the batched path the multi-source owner sweep serves.
+
+    It can also carry a **churn scenario**: ``churn_bursts`` bursts of
+    ``churn_burst_size`` mutations each (edge removals paired with edge
+    additions so |E| stays roughly constant, plus attribute rewrites in a
+    ``churn_attribute_fraction`` share), meant to be replayed between query
+    bursts with :func:`apply_churn_op`.  This is the workload that makes the
+    snapshot-refresh cost visible: every burst invalidates the compiled
+    snapshot, and the delta-maintenance path (PERF-9) absorbs it in
+    O(|burst|) where the full rebuild pays O(|V| + |E|).
     """
 
     family: str = "barabasi-albert"
@@ -54,6 +94,12 @@ class WorkloadSpec:
     audience_batches: int = 0
     #: Resources per grouped audience request (capped at the resource count).
     audience_batch_size: int = 8
+    #: Number of mutation bursts in the churn scenario (0 disables it).
+    churn_bursts: int = 0
+    #: Mutations per churn burst.
+    churn_burst_size: int = 16
+    #: Share of each burst that rewrites node attributes instead of edges.
+    churn_attribute_fraction: float = 0.25
     expressions: Tuple[str, ...] = (
         "friend+[1]",
         "friend+[1,2]",
@@ -81,6 +127,9 @@ class Workload:
     # bulk_audience scenario: each entry is one grouped authorized_audiences
     # request (a tuple of resource ids materialized together)
     audience_requests: List[Tuple[str, ...]] = field(default_factory=list)
+    # churn scenario: bursts of mutations, valid when replayed in order
+    # against `graph` (interleave them with query bursts via apply_churn_op)
+    churn: List[Tuple[ChurnOp, ...]] = field(default_factory=list)
 
     def owners(self) -> List[Hashable]:
         """Return the owners of the protected resources (deduplicated, ordered)."""
@@ -140,4 +189,57 @@ def build_workload(spec: WorkloadSpec) -> Workload:
         resources=resources,
         requests=requests,
         audience_requests=audience_requests,
+        churn=_generate_churn(spec, graph, users, rng),
     )
+
+
+def _generate_churn(
+    spec: WorkloadSpec,
+    graph: SocialGraph,
+    users: Sequence[Hashable],
+    rng: random.Random,
+) -> List[Tuple[ChurnOp, ...]]:
+    """Generate ``spec.churn_bursts`` bursts of valid, ordered mutations.
+
+    The bursts are built against a *simulated* edge set (seeded from the
+    generated graph) so every removal names an edge that exists and every
+    addition a triple that does not, at the point it is replayed.  Edge
+    churn alternates remove/add to hold |E| roughly constant — the regime
+    where a full snapshot rebuild's O(|V| + |E|) cost is pure overhead.
+    """
+    if spec.churn_bursts <= 0 or spec.churn_burst_size <= 0 or not users:
+        return []
+    labels = list(graph.labels()) or ["friend"]
+    # List + set mirror of the edge population: O(1) uniform choice (by
+    # index), O(1) removal (swap with the tail), deterministic for the rng.
+    edge_list = [(rel.source, rel.target, rel.label) for rel in graph.relationships()]
+    edge_set = set(edge_list)
+    bursts: List[Tuple[ChurnOp, ...]] = []
+    for _ in range(spec.churn_bursts):
+        ops: List[ChurnOp] = []
+        remove_next = True
+        while len(ops) < spec.churn_burst_size:
+            if rng.random() < spec.churn_attribute_fraction:
+                ops.append(
+                    ("set_attribute", rng.choice(users), "age", rng.randint(13, 90))
+                )
+                continue
+            if remove_next and edge_list:
+                position = rng.randrange(len(edge_list))
+                edge = edge_list[position]
+                edge_list[position] = edge_list[-1]
+                edge_list.pop()
+                edge_set.discard(edge)
+                ops.append(("remove_edge",) + edge)
+                remove_next = False
+                continue
+            for _attempt in range(32):
+                candidate = (rng.choice(users), rng.choice(users), rng.choice(labels))
+                if candidate not in edge_set:
+                    edge_set.add(candidate)
+                    edge_list.append(candidate)
+                    ops.append(("add_edge",) + candidate)
+                    break
+            remove_next = True
+        bursts.append(tuple(ops))
+    return bursts

@@ -1,7 +1,7 @@
 """Measurement helpers shared by the benchmark harness.
 
 ``pytest-benchmark`` measures wall-clock time per call; the experiments in
-EXPERIMENTS.md additionally need derived metrics (index sizes, throughput,
+docs/benchmarks.md additionally need derived metrics (index sizes, throughput,
 speed-ups, crossover points) and a uniform way to print comparison tables.
 This module centralizes those: a :class:`Timer`, a :class:`MetricSeries` for
 parameter sweeps, and table formatting used by every ``bench_*`` module so

@@ -82,9 +82,19 @@ class TestEpochInvalidation:
         assert compile_graph(figure1) is first
         figure1.add_user("Zoe")
         assert first.is_stale()
+        # The journal covers the one-mutation gap, so the refresh patches
+        # the cached snapshot in place instead of rebuilding it.
+        second = compile_graph(figure1)
+        assert second is first and not second.is_stale()
+        assert "Zoe" in second.node_index
+
+    def test_snapshot_is_rebuilt_without_a_journal(self, figure1):
+        figure1.journal_limit = 0
+        first = compile_graph(figure1)
+        figure1.add_user("Zoe")
         second = compile_graph(figure1)
         assert second is not first
-        assert "Zoe" in second.node_index
+        assert "Zoe" in second.node_index and "Zoe" not in first.node_index
 
     @pytest.mark.parametrize("mutate", [
         lambda g: g.add_user("Zoe"),
@@ -180,15 +190,19 @@ class TestDegreeStatistics:
                 figure1.in_degree(user, row.label) for user in users
             )
 
-    def test_cached_in_derived_and_dropped_on_rebuild(self, figure1):
+    def test_cached_in_derived_and_refreshed_on_mutation(self, figure1):
         snapshot = compile_graph(figure1)
         stats = snapshot.degree_statistics()
         assert snapshot.degree_statistics() is stats  # cached per snapshot
         assert "degree_statistics" in snapshot.derived
         figure1.add_user("late-arrival")
-        rebuilt = compile_graph(figure1)
-        assert rebuilt is not snapshot
-        assert "degree_statistics" not in rebuilt.derived
+        refreshed = compile_graph(figure1)
+        assert refreshed is snapshot  # patched in place (journal-covered)
+        fresh_stats = refreshed.degree_statistics()
+        assert fresh_stats is not stats  # per-row means track the new |V|
+        users = list(figure1.users())
+        for row in fresh_stats:
+            assert row.mean_degree == pytest.approx(row.edges / len(users))
 
     def test_empty_graph(self, empty_graph):
         assert compile_graph(empty_graph).degree_statistics() == ()

@@ -1,0 +1,391 @@
+"""Delta maintenance of the compiled snapshot: journal + apply_deltas.
+
+The correctness bar for incremental snapshot maintenance is *observational
+equivalence*: after any journal-covered mutation burst, the patched snapshot
+must be indistinguishable from a snapshot compiled from scratch — same node
+and label interning contracts, identical per-label forward/reverse adjacency
+(as decoded user-id sets; CSR row order is not part of the contract), the
+same merged adjacency, the same degree statistics, and identical answers
+from all four reachability backends.
+
+The seeded property harness below applies >= 250 random mutation journals
+(edge adds/removes including self-loops and brand-new labels, attribute
+writes through both ``update_user`` and the live ``AttributeMap``, user
+adds) to random base graphs and asserts exactly that, plus the fallback
+paths: user removals and journal overflow must abandon the patch and
+rebuild, and a pinned snapshot must never be patched at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.dfs import OnlineDFSEvaluator
+from repro.reachability.transitive_closure import TransitiveClosureEvaluator
+from repro.workloads.queries import random_expression
+
+LABELS = ("friend", "colleague", "parent")
+#: Labels a mutation burst may introduce that the base graph never uses —
+#: exercising post-build label interning.
+LATE_LABELS = ("mentor", "neighbor")
+
+JOURNAL_SEEDS = range(250)
+MUTATIONS_PER_JOURNAL = 14
+BACKEND_CHECK_EVERY = 10  # every 10th seed also differentials the backends
+
+
+def test_seed_budget_meets_the_acceptance_floor():
+    """The harness must cover at least 250 seeded mutation journals."""
+    assert len(JOURNAL_SEEDS) >= 250
+
+
+def random_base_graph(rng: random.Random) -> SocialGraph:
+    graph = SocialGraph(name="delta-base")
+    count = rng.randint(3, 8)
+    for i in range(count):
+        graph.add_user(f"u{i}", age=rng.randint(10, 70))
+    users = [f"u{i}" for i in range(count)]
+    for _ in range(rng.randint(0, 2 * count)):
+        source = rng.choice(users)
+        target = source if rng.random() < 0.15 else rng.choice(users)
+        label = rng.choice(LABELS)
+        if not graph.has_relationship(source, target, label):
+            graph.add_relationship(source, target, label)
+    return graph
+
+
+def apply_random_mutations(
+    rng: random.Random,
+    graph: SocialGraph,
+    count: int,
+    *,
+    allow_remove_user: bool = False,
+) -> None:
+    """Drive ``count`` committed mutations through the public graph API."""
+    applied = 0
+    while applied < count:
+        users = list(graph.users())
+        roll = rng.random()
+        if roll < 0.30:
+            source = rng.choice(users)
+            target = source if rng.random() < 0.2 else rng.choice(users)
+            label = rng.choice(LABELS + LATE_LABELS if rng.random() < 0.2 else LABELS)
+            if graph.has_relationship(source, target, label):
+                continue
+            graph.add_relationship(source, target, label)
+        elif roll < 0.50:
+            relationships = list(graph.relationships())
+            if not relationships:
+                continue
+            rel = rng.choice(relationships)
+            graph.remove_relationship(rel.source, rel.target, rel.label)
+        elif roll < 0.75:
+            user = rng.choice(users)
+            if rng.random() < 0.5:
+                graph.update_user(user, age=rng.randint(10, 70))
+            else:
+                graph.attributes(user)["age"] = rng.randint(10, 70)
+        elif roll < 0.90 or not allow_remove_user:
+            graph.add_user(f"late{graph.epoch}", age=rng.randint(10, 70))
+        else:
+            graph.remove_user(rng.choice(users))
+        applied += 1
+
+
+def decoded_adjacency(snapshot: CompiledGraph, label_id, *, backward=False):
+    """Per-user sorted neighbor-id lists for one label (or the merged view)."""
+    reader = snapshot.in_neighbors if backward else snapshot.out_neighbors
+    return {
+        snapshot.node_ids[index]: sorted(
+            (str(snapshot.node_ids[n]) for n in reader(index, label_id))
+        )
+        for index in range(snapshot.number_of_nodes())
+    }
+
+
+def assert_snapshots_equivalent(patched: CompiledGraph, fresh: CompiledGraph):
+    assert set(patched.node_ids) == set(fresh.node_ids)
+    assert len(patched.node_ids) == len(patched.node_index)
+    for index, user in enumerate(patched.node_ids):
+        assert patched.node_index[user] == index
+        assert patched.attrs[index] == fresh.attrs[fresh.index_of(user)]
+    # Label interning is append-only across patches: a label whose last edge
+    # was removed lingers with an empty CSR (observationally equivalent to
+    # an absent label) until the next full rebuild.
+    assert set(fresh.labels) <= set(patched.labels)
+    for label in set(patched.labels) - set(fresh.labels):
+        label_id = patched.label_id(label)
+        assert patched.number_of_edges(label_id) == 0, label
+    for label in fresh.labels:
+        patched_id = patched.label_id(label)
+        fresh_id = fresh.label_id(label)
+        for backward in (False, True):
+            assert decoded_adjacency(patched, patched_id, backward=backward) == (
+                decoded_adjacency(fresh, fresh_id, backward=backward)
+            ), (label, backward)
+        # CSR structural invariants survive patching + compaction.
+        offsets, targets = patched.forward(patched_id)
+        assert len(offsets) == patched.number_of_nodes() + 1
+        assert offsets[-1] == len(targets)
+    for backward in (False, True):
+        assert decoded_adjacency(patched, None, backward=backward) == (
+            decoded_adjacency(fresh, None, backward=backward)
+        )
+    patched_stats = {row.label: row for row in patched.degree_statistics()}
+    fresh_stats = {row.label: row for row in fresh.degree_statistics()}
+    assert set(fresh_stats) <= set(patched_stats)
+    for label in set(patched_stats) - set(fresh_stats):
+        row = patched_stats[label]
+        assert (row.edges, row.max_out_degree, row.max_in_degree) == (0, 0, 0)
+    for label, row in fresh_stats.items():
+        got = patched_stats[label]
+        assert got.edges == row.edges, label
+        assert got.mean_degree == pytest.approx(row.mean_degree), label
+        assert got.max_out_degree == row.max_out_degree, label
+        assert got.max_in_degree == row.max_in_degree, label
+
+
+def assert_backends_agree_after_patch(rng: random.Random, graph: SocialGraph):
+    """All four backends over the patched snapshot vs a from-scratch oracle."""
+    oracle = OnlineBFSEvaluator(graph.copy())  # fresh graph, fresh snapshot
+    contenders = {
+        "bfs": OnlineBFSEvaluator(graph),
+        "dfs": OnlineDFSEvaluator(graph),
+        "transitive-closure": TransitiveClosureEvaluator(graph).build(),
+        "cluster-index": ClusterIndexEvaluator(graph).build(),
+    }
+    users = sorted(graph.users())
+    for _ in range(3):
+        expression = random_expression(
+            rng, LABELS, max_steps=2, max_depth=2, condition_probability=0.3
+        )
+        for _pair in range(3):
+            source, target = rng.choice(users), rng.choice(users)
+            expected = oracle.evaluate(
+                source, target, expression, collect_witness=False
+            ).reachable
+            for name, backend in contenders.items():
+                got = backend.evaluate(
+                    source, target, expression, collect_witness=False
+                ).reachable
+                assert got == expected, (name, source, target, expression.to_text())
+        owners = rng.sample(users, min(3, len(users)))
+        expected_many = {
+            owner: oracle.find_targets(owner, expression) for owner in owners
+        }
+        for name, backend in contenders.items():
+            assert backend.find_targets_many(owners, expression) == expected_many, (
+                name, owners, expression.to_text()
+            )
+
+
+@pytest.mark.parametrize("seed", JOURNAL_SEEDS)
+def test_patched_snapshot_equals_fresh_compile(seed):
+    rng = random.Random(90_000 + seed)
+    graph = random_base_graph(rng)
+    snapshot = compile_graph(graph)
+    snapshot.degree_statistics()  # warm the partial-refresh path too
+    apply_random_mutations(rng, graph, MUTATIONS_PER_JOURNAL)
+
+    patched = compile_graph(graph)
+    assert patched is snapshot, "journal-covered burst must patch in place"
+    assert not patched.is_stale()
+    assert patched.delta_events["applies"] >= 1
+
+    assert_snapshots_equivalent(patched, CompiledGraph(graph))
+    if seed % BACKEND_CHECK_EVERY == 0:
+        assert_backends_agree_after_patch(rng, graph)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_user_removal_falls_back_to_a_full_rebuild(seed):
+    rng = random.Random(91_000 + seed)
+    graph = random_base_graph(rng)
+    snapshot = compile_graph(graph)
+    apply_random_mutations(rng, graph, 6)
+    graph.remove_user(rng.choice(list(graph.users())))
+    apply_random_mutations(rng, graph, 4)
+
+    rebuilt = compile_graph(graph)
+    assert rebuilt is not snapshot, "remove_user must abandon the patch"
+    assert rebuilt.delta_events["applies"] == 0
+    assert_snapshots_equivalent(rebuilt, CompiledGraph(graph))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_journal_overflow_falls_back_to_a_full_rebuild(seed):
+    rng = random.Random(92_000 + seed)
+    graph = random_base_graph(rng)
+    graph.journal_limit = 8
+    snapshot = compile_graph(graph)
+    apply_random_mutations(rng, graph, 20)  # > journal_limit: coverage is lost
+
+    assert graph.mutations_since(snapshot.epoch) is None
+    rebuilt = compile_graph(graph)
+    assert rebuilt is not snapshot
+    assert_snapshots_equivalent(rebuilt, CompiledGraph(graph))
+    # The new snapshot re-enters the delta regime for covered bursts.
+    apply_random_mutations(rng, graph, 4)
+    assert compile_graph(graph) is rebuilt
+
+
+class TestJournalContract:
+    def test_mutations_since_returns_the_exact_tail(self):
+        graph = SocialGraph()
+        graph.add_user("a")
+        mark = graph.epoch
+        graph.add_user("b")
+        graph.add_relationship("a", "b", "friend")
+        assert graph.mutations_since(mark) == [
+            ("add_user", "b"),
+            ("add_edge", "a", "b", "friend"),
+        ]
+        assert graph.mutations_since(graph.epoch) == []
+
+    def test_attribute_map_writes_are_journaled(self):
+        graph = SocialGraph()
+        graph.add_user("a", age=1)
+        mark = graph.epoch
+        attrs = graph.attributes("a")
+        attrs["age"] = 2
+        del attrs["age"]
+        assert graph.mutations_since(mark) == [
+            ("update_user", "a"),
+            ("update_user", "a"),
+        ]
+
+    def test_foreign_or_future_epochs_are_not_covered(self):
+        graph = SocialGraph()
+        graph.add_user("a")
+        assert graph.mutations_since(graph.epoch + 5) is None
+
+    def test_journal_limit_zero_disables_coverage(self):
+        graph = SocialGraph(journal_limit=0)
+        graph.add_user("a")
+        mark = graph.epoch
+        graph.add_user("b")
+        assert graph.mutations_since(mark) is None
+        assert graph.mutations_since(graph.epoch) == []
+
+    def test_reconfiguring_the_limit_resets_coverage(self):
+        graph = SocialGraph()
+        graph.add_user("a")
+        mark = graph.epoch
+        graph.add_user("b")
+        graph.journal_limit = 16
+        assert graph.mutations_since(mark) is None  # pre-reset span is gone
+        graph.add_user("c")
+        assert graph.mutations_since(graph.epoch - 1) == [("add_user", "c")]
+
+    def test_bumps_that_bypass_the_journal_break_coverage(self):
+        graph = SocialGraph()
+        graph.add_user("a")
+        mark = graph.epoch
+        graph.add_user("b")
+        graph._epoch += 1  # simulate a buggy mutation path
+        assert graph.mutations_since(mark) is None
+
+
+class TestDerivedInvalidationPolicies:
+    def _graph(self):
+        graph = SocialGraph()
+        for user in ("a", "b", "c"):
+            graph.add_user(user, age=30)
+        graph.add_relationship("a", "b", "friend")
+        graph.add_relationship("b", "c", "friend")
+        return graph
+
+    def test_attribute_only_patch_keeps_the_line_index(self):
+        from repro.reachability.interned import interned_line_index
+
+        graph = self._graph()
+        index = interned_line_index(graph)
+        graph.attributes("b")["age"] = 55
+        assert interned_line_index(graph) is index  # structural policy: kept
+
+    def test_edge_patch_drops_the_line_index(self):
+        from repro.reachability.interned import interned_line_index
+
+        graph = self._graph()
+        index = interned_line_index(graph)
+        graph.add_relationship("c", "a", "colleague")
+        rebuilt = interned_line_index(graph)
+        assert rebuilt is not index
+        assert rebuilt.snapshot is index.snapshot  # same patched snapshot
+
+    def test_attribute_only_patch_keeps_degree_statistics_identity(self):
+        graph = self._graph()
+        snapshot = compile_graph(graph)
+        stats = snapshot.degree_statistics()
+        graph.update_user("a", age=31)
+        assert compile_graph(graph) is snapshot
+        assert snapshot.degree_statistics() is stats
+
+    def test_edge_patch_refreshes_only_the_touched_label_row(self):
+        graph = self._graph()
+        graph.add_relationship("a", "c", "colleague")
+        snapshot = compile_graph(graph)
+        stats = snapshot.degree_statistics()
+        friend_row = stats[snapshot.label_id("friend")]
+        graph.add_relationship("c", "b", "colleague")
+        assert compile_graph(graph) is snapshot
+        refreshed = snapshot.degree_statistics()
+        assert refreshed is not stats
+        assert refreshed[snapshot.label_id("friend")] is friend_row  # untouched
+        colleague = refreshed[snapshot.label_id("colleague")]
+        assert colleague.edges == 2
+
+    def test_unregistered_entries_are_dropped_even_by_attribute_patches(self):
+        graph = self._graph()
+        snapshot = compile_graph(graph)
+        snapshot.derived["probe"] = object()
+        graph.update_user("a", age=32)
+        assert compile_graph(graph) is snapshot
+        assert "probe" not in snapshot.derived
+
+
+class TestPinnedSnapshots:
+    def test_pinned_snapshots_are_never_patched(self):
+        graph = SocialGraph()
+        for user in ("a", "b"):
+            graph.add_user(user)
+        graph.add_relationship("a", "b", "friend")
+        snapshot = compile_graph(graph).pin()
+        graph.add_user("c")
+        rebuilt = compile_graph(graph)
+        assert rebuilt is not snapshot
+        assert "c" not in snapshot.node_index  # the pinned structure is frozen
+        assert "c" in rebuilt.node_index
+        assert not rebuilt.pinned  # the replacement re-enters the delta regime
+
+    def test_cluster_build_pins_its_snapshot(self):
+        graph = SocialGraph()
+        for user in ("a", "b"):
+            graph.add_user(user)
+        graph.add_relationship("a", "b", "friend")
+        evaluator = ClusterIndexEvaluator(graph).build()
+        assert evaluator._index.snapshot.pinned
+        build_time = evaluator._index.snapshot
+        # Delta maintenance for the online backends must not disturb the
+        # cluster backend's frozen build-time structure.
+        graph.add_user("c")
+        graph.add_relationship("b", "c", "friend")
+        live = compile_graph(graph)
+        assert live is not build_time
+        assert "c" not in build_time.node_index
+        from repro.policy.path_expression import PathExpression
+
+        expression = PathExpression.parse("friend+[1,2]")
+        # Stale-read semantics: the post-build edge stays invisible, and the
+        # per-owner and batched paths agree on that.
+        assert evaluator.find_targets("a", expression) == {"b"}
+        assert evaluator.find_targets_many(["a", "c"], expression) == {
+            "a": {"b"},
+            "c": set(),
+        }

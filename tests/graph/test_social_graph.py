@@ -63,6 +63,14 @@ class TestUsers:
         assert graph.number_of_relationships() == 0
         assert not graph.has_relationship("alice", "bob", "friend")
 
+    def test_remove_user_with_a_self_loop(self, graph):
+        # Regression: the loop edge appears in both incidence lists and used
+        # to be removed twice, raising EdgeNotFoundError on the second pass.
+        graph.add_relationship("bob", "bob", "friend")
+        graph.remove_user("bob")
+        assert not graph.has_user("bob")
+        assert graph.number_of_relationships() == 0
+
     def test_len_and_iter(self, graph):
         assert len(graph) == 3
         assert set(iter(graph)) == {"alice", "bob", "carol"}

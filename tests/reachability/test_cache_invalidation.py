@@ -81,19 +81,40 @@ class TestSnapshotFollowsTheEpoch:
         graph = two_user_graph()
         assert compile_graph(graph) is compile_graph(graph)
 
-    def test_snapshot_rebuilds_after_any_mutation(self):
+    def test_snapshot_refreshes_after_any_mutation(self):
         graph = two_user_graph()
+        snapshot = compile_graph(graph)
+        graph.add_user("c")
+        assert snapshot.is_stale()
+        # Journal-covered gap: the same object is patched in place.
+        refreshed = compile_graph(graph)
+        assert refreshed is snapshot and not refreshed.is_stale()
+        assert refreshed.index_of("c") == 2
+
+    def test_snapshot_rebuilds_when_the_journal_cannot_cover_the_gap(self):
+        graph = two_user_graph()
+        graph.journal_limit = 0  # journaling off: every refresh is a rebuild
         snapshot = compile_graph(graph)
         graph.add_user("c")
         rebuilt = compile_graph(graph)
         assert rebuilt is not snapshot
         assert snapshot.is_stale() and not rebuilt.is_stale()
 
+    def test_snapshot_rebuilds_after_user_removal(self):
+        graph = two_user_graph()
+        snapshot = compile_graph(graph)
+        graph.remove_user("b")
+        rebuilt = compile_graph(graph)
+        assert rebuilt is not snapshot and not rebuilt.is_stale()
+        assert not rebuilt.graph.has_user("b")
+
     def test_derived_indexes_die_with_their_snapshot(self):
         graph = two_user_graph()
         snapshot = compile_graph(graph)
         snapshot.derived["probe"] = object()
         graph.add_relationship("b", "a", "friend")
+        # Unregistered derived entries are conservatively dropped by any
+        # delta patch (and a full rebuild starts from an empty dict anyway).
         assert "probe" not in compile_graph(graph).derived
 
 
@@ -151,14 +172,16 @@ class TestAttributeWritesInvalidateCaches:
         assert attrs == {"age": 30}
         assert graph.epoch == epoch
 
-    def test_snapshot_rebuilds_after_attribute_write(self):
+    def test_snapshot_refreshes_after_attribute_write(self):
         graph = two_user_graph()
         snapshot = compile_graph(graph)
         graph.attributes("a")["age"] = 99
         assert snapshot.is_stale()
-        rebuilt = compile_graph(graph)
-        assert rebuilt is not snapshot
-        assert rebuilt.attributes_of(rebuilt.index_of("a"))["age"] == 99
+        # Attribute-only deltas are absorbed without structural work: same
+        # object, and the shared attribute dicts already see the new value.
+        refreshed = compile_graph(graph)
+        assert refreshed is snapshot and not refreshed.is_stale()
+        assert refreshed.attributes_of(refreshed.index_of("a"))["age"] == 99
 
     def test_target_set_memo_invalidated_by_mutation(self):
         graph = two_user_graph()

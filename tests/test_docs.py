@@ -1,0 +1,71 @@
+"""The documentation layer is tested like code.
+
+``tools/check_docs.py`` (also run by the CI ``docs`` job) must pass against
+the committed README/docs, and its two checks — relative links resolve,
+embedded python snippets compile — must actually catch regressions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_documentation_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 failure(s)" in result.stdout
+
+
+def test_readme_and_docs_exist():
+    assert (REPO / "README.md").is_file()
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "benchmarks.md").is_file()
+
+
+def test_broken_links_are_detected(tmp_path):
+    module = _load_check_docs()
+    module.REPO = tmp_path
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[good](docs/real.md) and [bad](docs/missing.md)\n", encoding="utf-8"
+    )
+    (tmp_path / "docs" / "real.md").write_text("ok\n", encoding="utf-8")
+    failures = module.check_links(module.documentation_files())
+    assert len(failures) == 1 and "missing.md" in failures[0]
+
+
+def test_snippets_are_extracted_and_syntax_checked(tmp_path):
+    module = _load_check_docs()
+    module.REPO = tmp_path
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "```python\ndef fine():\n    return 1\n```\n"
+        "```bash\nnot python, ignored\n```\n"
+        "```python\ndef broken(:\n```\n",
+        encoding="utf-8",
+    )
+    out = tmp_path / "snippets"
+    out.mkdir()
+    count = module.extract_snippets(module.documentation_files(), out)
+    assert count == 2  # the bash block is skipped
+    import compileall
+
+    assert not compileall.compile_dir(str(out), quiet=2)  # the broken one fails

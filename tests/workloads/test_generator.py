@@ -7,6 +7,7 @@ import pytest
 from repro.workloads.generator import (
     GRAPH_FAMILIES,
     WorkloadSpec,
+    apply_churn_op,
     build_graph,
     build_workload,
 )
@@ -111,3 +112,55 @@ class TestBulkAudienceScenario:
             build_workload(spec).audience_requests
             == build_workload(spec).audience_requests
         )
+
+
+class TestChurnScenario:
+    def test_disabled_by_default(self):
+        assert build_workload(WorkloadSpec(users=40, seed=4)).churn == []
+
+    def test_bursts_have_the_requested_shape(self):
+        spec = WorkloadSpec(users=60, seed=8, churn_bursts=5, churn_burst_size=12)
+        workload = build_workload(spec)
+        assert len(workload.churn) == 5
+        for burst in workload.churn:
+            assert len(burst) == 12
+
+    def test_bursts_replay_cleanly_in_order(self):
+        """Every removal names a live edge, every addition a missing triple."""
+        spec = WorkloadSpec(
+            users=50, seed=9, churn_bursts=4, churn_burst_size=16,
+            churn_attribute_fraction=0.3,
+        )
+        workload = build_workload(spec)
+        graph = workload.graph
+        kinds = set()
+        for burst in workload.churn:
+            before = graph.epoch
+            for op in burst:
+                kinds.add(op[0])
+                apply_churn_op(graph, op)  # raises if the simulation drifted
+            assert graph.epoch == before + len(burst)
+        assert kinds == {"add_edge", "remove_edge", "set_attribute"}
+
+    def test_edge_churn_preserves_the_edge_count(self):
+        spec = WorkloadSpec(
+            users=50, seed=10, churn_bursts=3, churn_burst_size=20,
+            churn_attribute_fraction=0.0,
+        )
+        workload = build_workload(spec)
+        graph = workload.graph
+        before = graph.number_of_relationships()
+        for burst in workload.churn:
+            for op in burst:
+                apply_churn_op(graph, op)
+        after = graph.number_of_relationships()
+        assert abs(after - before) <= len(workload.churn)  # one straggler/burst
+
+    def test_unknown_op_raises(self):
+        workload = build_workload(WorkloadSpec(users=10, seed=1))
+        with pytest.raises(ValueError):
+            apply_churn_op(workload.graph, ("rename_user", "a", "b"))
+
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(users=40, seed=6, churn_bursts=3, churn_burst_size=8)
+        assert build_workload(spec).churn == build_workload(spec).churn

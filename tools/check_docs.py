@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Documentation checker: links resolve, embedded code compiles.
+
+Run from anywhere (CI runs it from the repository root):
+
+    python tools/check_docs.py
+
+Two checks over ``README.md`` and every markdown file under ``docs/``:
+
+1. **Links** — every relative markdown link target (``[text](path)`` /
+   ``[text](path#anchor)``) must name an existing file or directory,
+   resolved against the linking document.  External schemes
+   (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+   skipped.
+2. **Snippets** — every fenced ```` ```python ```` block is extracted into
+   a scratch directory and byte-compiled with :mod:`compileall`, so the
+   documentation's code examples cannot rot into syntax errors.  Snippets
+   are *compiled*, not executed: they may reference free variables, but
+   they must parse.
+
+Exits non-zero (listing every failure) when either check fails.
+"""
+
+from __future__ import annotations
+
+import compileall
+import re
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the first whitespace or ``)``.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced python blocks; the fence language tag must be exactly ``python``.
+FENCE = re.compile(r"^```python\s*\n(.*?)^```", re.DOTALL | re.MULTILINE)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def documentation_files() -> List[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(documents: List[Path]) -> List[str]:
+    failures = []
+    for document in documents:
+        text = document.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (document.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{document.relative_to(REPO)}: broken link {target!r} "
+                    f"(resolved to {resolved})"
+                )
+    return failures
+
+
+def extract_snippets(documents: List[Path], destination: Path) -> int:
+    count = 0
+    for document in documents:
+        text = document.read_text(encoding="utf-8")
+        stem = document.relative_to(REPO).as_posix().replace("/", "_").replace(".md", "")
+        for index, match in enumerate(FENCE.finditer(text)):
+            (destination / f"{stem}_snippet_{index}.py").write_text(
+                match.group(1), encoding="utf-8"
+            )
+            count += 1
+    return count
+
+
+def main() -> int:
+    documents = documentation_files()
+    if not documents:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    failures = check_links(documents)
+    for failure in failures:
+        print(f"check_docs: {failure}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="doc-snippets-") as scratch:
+        destination = Path(scratch)
+        count = extract_snippets(documents, destination)
+        compiled = compileall.compile_dir(str(destination), quiet=1)
+        if not compiled:
+            failures.append("one or more embedded python snippets failed to compile")
+            print(
+                "check_docs: snippet compilation failed (see compileall output above)",
+                file=sys.stderr,
+            )
+
+    print(
+        f"check_docs: {len(documents)} documents, {count} python snippets, "
+        f"{len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
