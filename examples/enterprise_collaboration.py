@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AccessControlEngine, PolicyStore
+from repro import GraphService, PolicyStore
 from repro.graph.generators import layered_organization_graph
 from repro.policy.administration import analyze_policy
 from repro.reachability import available_backends
@@ -57,12 +57,17 @@ def main() -> None:
           f"{len(report.unprotected_resources)} unprotected resources "
           f"({', '.join(map(str, report.unprotected_resources)) or 'none'})")
 
-    engine = AccessControlEngine(graph, store, backend="cluster-index")
+    # One service pinned to the paper's cluster index; the bulk call
+    # materializes every document's audience in a single pass and carries
+    # the executed sweep plans on the result.
+    service = GraphService(graph, store, default_backend="cluster-index")
+    documents = ("roadmap", "retro-notes", "design-doc", "salary-review")
+    bulk = service.bulk_access(documents)
     print()
     print(f"{'resource':<14} {'audience size':>13}   sample of authorized users")
     print("-" * 70)
-    for resource in ("roadmap", "retro-notes", "design-doc", "salary-review"):
-        audience = sorted(engine.authorized_audience(resource))
+    for resource in documents:
+        audience = sorted(bulk[resource])
         sample = ", ".join(str(user) for user in audience[:4])
         more = f" (+{len(audience) - 4} more)" if len(audience) > 4 else ""
         print(f"{resource:<14} {len(audience):>13}   {sample}{more}")
@@ -70,14 +75,15 @@ def main() -> None:
     # A concrete denied request, explained.
     outsider = [user for user in graph.users() if graph.attribute(user, "department") == 3][0]
     print()
-    print(engine.explain(outsider, "roadmap"))
+    print(service.explain(outsider, "roadmap"))
 
-    # All backends agree on every decision (spot-check on the roadmap).
+    # All backends agree on every decision (spot-check on the roadmap):
+    # the same service routes the query through each backend via a plan pin.
     print()
     print("cross-backend agreement on 'roadmap':")
+    agreement = GraphService(graph, store)
     for backend in available_backends():
-        candidate = AccessControlEngine(graph, store, backend=backend)
-        audience = candidate.authorized_audience("roadmap")
+        audience = agreement.bulk_access(["roadmap"], backend=backend)["roadmap"]
         print(f"  {backend:<19} audience size = {len(audience)}")
 
 

@@ -25,7 +25,8 @@ from repro.datasets.paper_graph import (
     WORKED_EXAMPLE_EXPRESSION,
     paper_graph,
 )
-from repro.policy import AccessControlEngine, PathExpression, PolicyStore
+from repro import GraphService
+from repro.policy import PathExpression, PolicyStore
 from repro.reachability import ClusterIndexEvaluator, LineGraph, ReachabilityTable
 from repro.reachability.join_index import JoinIndex
 from repro.reachability.query import expand_line_queries
@@ -82,10 +83,10 @@ def main() -> None:
     store.share(ALICE, "alice-resource", kind="note")
     store.allow("alice-resource", WORKED_EXAMPLE_EXPRESSION,
                 description="friends of my friends' parents")
-    engine = AccessControlEngine(graph, store, backend="cluster-index")
-    print(engine.explain(GEORGE, "alice-resource"))
+    service = GraphService(graph, store, default_backend="cluster-index")
+    print(service.explain(GEORGE, "alice-resource"))
     print()
-    print("full audience:", sorted(engine.authorized_audience("alice-resource")))
+    print("full audience:", sorted(service.authorized_audience("alice-resource")))
 
     section("Section 2 — David's audiences")
     evaluator = ClusterIndexEvaluator(graph).build()

@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AccessControlEngine, AuditLog, PolicyStore
+from repro import AuditLog, GraphService, PolicyStore
 from repro.graph.generators import preferential_attachment_graph
 from repro.graph.statistics import summarize
 from repro.workloads.scenarios import scenario
@@ -43,7 +43,9 @@ def main() -> None:
 
     audit = AuditLog()
     store = PolicyStore()
-    engine = AccessControlEngine(graph, store, backend="bfs", audit_log=audit)
+    # The service facade: rules are evaluated through whichever backend the
+    # planner picks per query (pin one with default_backend="bfs" if needed).
+    service = GraphService(graph, store, audit_log=audit)
 
     print()
     header = f"{'owner':<18} {'out-degree':>10} {'resource':<18} {'policy':<40} {'audience':>9}"
@@ -54,7 +56,7 @@ def main() -> None:
             resource_id = f"{owner}:{resource_kind}"
             store.share(owner, resource_id, kind=resource_kind)
             store.allow(resource_id, list(policy.expressions), description=policy.description)
-            audience = engine.authorized_audience(resource_id)
+            audience = service.authorized_audience(resource_id)
             print(
                 f"{owner_kind:<18} {graph.out_degree(owner):>10} {resource_kind:<18} "
                 f"{'; '.join(policy.expressions):<40} {len(audience) - 1:>9}"
@@ -64,8 +66,8 @@ def main() -> None:
     hub = owners["hub owner"]
     store.share(hub, "hub:all-friends-list", kind="photos")
     store.allow("hub:all-friends-list", "friend+[1]", description="the Facebook-list baseline")
-    flat_audience = engine.authorized_audience("hub:all-friends-list")
-    fine_audience = engine.authorized_audience(f"{hub}:birthday photos")
+    flat_audience = service.authorized_audience("hub:all-friends-list")
+    fine_audience = service.authorized_audience(f"{hub}:birthday photos")
     print()
     print(f"hub owner {hub!r}: a flat friend list reaches {len(flat_audience) - 1} users, "
           f"the 'family and friends' rule reaches {len(fine_audience) - 1}.")
@@ -74,8 +76,8 @@ def main() -> None:
     print()
     some_users = sorted(graph.users())[:5]
     for requester in some_users:
-        decision = engine.check_access(requester, f"{hub}:birthday photos")
-        print(f"  request by {requester:<6}: {'GRANTED' if decision.granted else 'DENIED'}")
+        result = service.check(requester, f"{hub}:birthday photos")
+        print(f"  request by {requester:<6}: {'GRANTED' if result.granted else 'DENIED'}")
     print()
     print(f"audit log: {len(audit)} decisions recorded, grant rate {audit.grant_rate():.2f}, "
           f"average latency {1000 * audit.average_latency():.2f} ms")

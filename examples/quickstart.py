@@ -2,15 +2,17 @@
 """Quickstart: protect a resource with a reachability-based access rule.
 
 Builds a tiny social network, shares a photo album, writes one access rule in
-the paper's path-expression language, and checks a few access requests with
-explanations.  Run with::
+the paper's path-expression language, and checks a few access requests — all
+through the :class:`repro.GraphService` facade, the one session object that
+owns the graph, the policy store, the query planner and every backend.
+Run with::
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import AccessControlEngine, AuditLog, GraphBuilder, PolicyStore
+from repro import AuditLog, GraphBuilder, GraphService, PolicyStore
 
 
 def main() -> None:
@@ -40,50 +42,51 @@ def main() -> None:
     print()
     print(rule.describe())
 
-    # 3. The engine intercepts access requests and evaluates the rule as a
-    #    reachability query between Alice and the requester.
+    # 3. One service fronts everything: it plans each query (picking a
+    #    reachability backend), executes it, and returns a result that
+    #    carries its own ExecutionPlan.
     audit = AuditLog()
-    engine = AccessControlEngine(graph, store, audit_log=audit)
+    service = GraphService(graph, store, audit_log=audit)
 
     print()
     for requester in ("bob", "carol", "dan", "erin"):
-        decision = engine.check_access(requester, "holiday-album")
-        verdict = "GRANTED" if decision.granted else "DENIED"
-        print(f"  {requester:>6}: {verdict}")
+        result = service.check(requester, "holiday-album")
+        verdict = "GRANTED" if result.granted else "DENIED"
+        print(f"  {requester:>6}: {verdict}  (backend: {result.plan.backend})")
 
     # 4. Decisions come with explanations (which rule matched, via which path).
     print()
-    print(engine.explain("carol", "holiday-album"))
+    print(service.explain("carol", "holiday-album"))
 
     # 5. The whole authorized audience can be materialized at once.
     print()
-    print("authorized audience:", sorted(engine.authorized_audience("holiday-album")))
+    print("authorized audience:", sorted(service.authorized_audience("holiday-album")))
 
-    # 6. Audiences for MANY resources are answered in one bulk pass:
-    #    authorized_audiences groups the access conditions by path expression
-    #    and runs one multi-source sweep per distinct expression, instead of
-    #    one traversal per resource.
+    # 6. Audiences for MANY resources are answered in one bulk pass: the
+    #    service groups access conditions by path expression and runs one
+    #    multi-source sweep per distinct expression.  The result carries the
+    #    executed sweep plans — no side-channel to read afterwards.
     store.share("bob", "board-games", kind="wishlist")
     store.allow("board-games", "friend*[1,2]", description="friends of friends")
     store.share("carol", "travel-notes", kind="notes")
     store.allow("travel-notes", "friend*[1,2]", description="friends of friends")
     print()
-    audiences = engine.authorized_audiences(["holiday-album", "board-games", "travel-notes"])
-    for resource_id, audience in sorted(audiences.items()):
+    bulk = service.bulk_access(["holiday-album", "board-games", "travel-notes"])
+    for resource_id, audience in sorted(bulk.audiences.items()):
         print(f"  {resource_id:>13}: {sorted(audience)}")
     # The shared "friend*[1,2]" condition of bob and carol was materialized
-    # by ONE sweep; the planner's verdict is recorded per expression.
-    for text, plan in engine.last_audience_plans.items():
+    # by ONE sweep; its plan travels on the result.
+    for text, plan in bulk.sweep_plans.items():
         print(f"  sweep for {text!r}: direction={plan.direction} ({plan.owners} owners)")
 
-    # 7. The same batching exists one layer down on the reachability engine:
-    #    find_targets_many materializes several owners' reachable sets in one
-    #    shared product walk (here: everyone's adult friend-of-friend ball).
-    reach = engine.reachability
-    audiences = reach.find_targets_many(["alice", "bob", "carol"], "friend*[1,2]{age >= 18}")
+    # 7. The same batching exists for raw reachability: one AudienceQuery
+    #    materializes several owners' reachable sets in one shared product
+    #    walk (here: everyone's adult friend-of-friend ball).
+    result = service.audience(["alice", "bob", "carol"], "friend*[1,2]{age >= 18}")
     print()
-    for owner, targets in sorted(audiences.items()):
+    for owner, targets in sorted(result.audiences.items()):
         print(f"  {owner} reaches {sorted(targets)}")
+    print(f"  (planned: {result.plan.reason})")
 
     print()
     print(f"audit log: {len(audit)} decisions, grant rate {audit.grant_rate():.2f}")

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import sys
 
+from repro import GraphService
 from repro.graph.generators import preferential_attachment_graph
 from repro.policy import PathExpression
-from repro.reachability import available_backends, create_evaluator
+from repro.reachability import available_backends
 from repro.workloads.metrics import MetricSeries, Timer
 from repro.workloads.queries import random_query_mix
 
@@ -47,23 +48,33 @@ def study(sizes) -> MetricSeries:
         graph = preferential_attachment_graph(size, edges_per_node=3, seed=99)
         pairs = [(s, t) for s, t, _e in random_query_mix(graph, 30, seed=size)]
         owners = sorted(graph.users(), key=str)[:AUDIENCE_OWNERS]
-        for backend in available_backends():
+        # One service per size; plan pins route the same queries through
+        # every backend, "planner-auto" lets the cost model choose per query.
+        service = GraphService(graph, cache_size=0)
+        for backend in list(available_backends()) + ["planner-auto"]:
+            pin = None if backend == "planner-auto" else backend
             with Timer() as build_timer:
-                evaluator = create_evaluator(backend, graph)
+                if pin is not None:
+                    evaluator = service.engine(pin).evaluator
             with Timer() as query_timer:
                 for index, (source, target) in enumerate(pairs):
                     expression = expressions[index % len(expressions)]
-                    evaluator.evaluate(source, target, expression, collect_witness=False)
-            # The bulk audience API: every backend exposes find_targets_many,
-            # so materializing many owners' audiences is one shared sweep,
-            # not |owners| independent traversals.
+                    service.reach(
+                        source, target, expression,
+                        collect_witness=False, backend=pin,
+                    )
+            # The bulk audience API: one AudienceQuery materializes many
+            # owners' audiences in one shared sweep, not |owners|
+            # independent traversals.
             with Timer() as audience_timer:
-                evaluator.find_targets_many(owners, audience_expression)
+                service.audience(owners, audience_expression, backend=pin)
             series.add(
                 users=size,
                 backend=backend,
                 build_seconds=build_timer.elapsed,
-                index_entries=int(evaluator.statistics().get("index_entries", 0)),
+                index_entries=int(
+                    service.engine(pin).statistics().get("index_entries", 0)
+                ) if pin is not None else 0,
                 mean_query_ms=1000.0 * query_timer.elapsed / max(1, len(pairs)),
                 bulk_audience_ms=1000.0 * audience_timer.elapsed,
             )
@@ -79,9 +90,12 @@ def main() -> None:
     print()
     print("reading guide: 'bfs'/'dfs' pay nothing up front and everything per query;")
     print("'transitive-closure' and 'cluster-index' pay an offline build (and storage)")
-    print("to keep per-query latency flat as the graph grows.  'bulk_audience_ms' is")
-    print(f"one find_targets_many call materializing {AUDIENCE_OWNERS} owners'")
-    print(f"'{AUDIENCE_EXPRESSION}' audiences in a single multi-source sweep.")
+    print("to keep per-query latency flat as the graph grows.  'planner-auto' lets the")
+    print("service's cost model pick a backend per query (build times show as zero")
+    print("because auto-selection only builds an index once enough mutation-free")
+    print(f"queries amortize it).  'bulk_audience_ms' is one AudienceQuery")
+    print(f"materializing {AUDIENCE_OWNERS} owners' '{AUDIENCE_EXPRESSION}' audiences")
+    print("in a single multi-source sweep.")
 
 
 if __name__ == "__main__":

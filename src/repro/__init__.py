@@ -18,10 +18,13 @@ The library has these layers (see docs/architecture.md for how they fit):
   line-graph + 2-hop-cover + cluster-join-index pipeline.
 * :mod:`repro.storage` — the in-memory relational substrate (tables,
   B+-tree, reachability joins) the index is stored in.
+* :mod:`repro.service` — the stable public surface: typed queries, the
+  query planner (per-query backend auto-selection), plan-carrying results
+  and the :class:`~repro.service.GraphService` session facade.
 
 Quickstart
 ----------
->>> from repro import SocialGraph, PolicyStore, AccessControlEngine
+>>> from repro import GraphService, PolicyStore, SocialGraph
 >>> graph = SocialGraph()
 >>> for user in ("alice", "bob", "carol"):
 ...     graph.add_user(user)
@@ -30,8 +33,10 @@ Quickstart
 >>> store = PolicyStore()
 >>> _ = store.share("alice", "holiday-album", kind="photos")
 >>> _ = store.allow("holiday-album", "friend+[1,2]")
->>> engine = AccessControlEngine(graph, store)
->>> engine.is_allowed("carol", "holiday-album")
+>>> service = GraphService(graph, store)
+>>> service.is_allowed("carol", "holiday-album")
+True
+>>> service.check("carol", "holiday-album").plan.backend in service.backends
 True
 """
 
@@ -64,8 +69,23 @@ from repro.reachability import (
     available_backends,
     create_evaluator,
 )
+from repro.service import (
+    AccessQuery,
+    AccessResult,
+    AudienceQuery,
+    AudienceResult,
+    BackendEstimate,
+    BulkAccessQuery,
+    BulkAccessResult,
+    ExecutionPlan,
+    GraphService,
+    PlannedResult,
+    QueryPlanner,
+    ReachQuery,
+    ReachResult,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -100,4 +120,18 @@ __all__ = [
     "ClusterIndexEvaluator",
     "available_backends",
     "create_evaluator",
+    # service (the stable query/plan/result surface)
+    "GraphService",
+    "QueryPlanner",
+    "ExecutionPlan",
+    "BackendEstimate",
+    "ReachQuery",
+    "AudienceQuery",
+    "AccessQuery",
+    "BulkAccessQuery",
+    "PlannedResult",
+    "ReachResult",
+    "AudienceResult",
+    "AccessResult",
+    "BulkAccessResult",
 ]

@@ -1,0 +1,21 @@
+"""Shared helper for the PR 5 API-redesign deprecation shims.
+
+The old mutable side-channels (``last_sweep_plan`` on every backend and on
+:class:`~repro.reachability.engine.ReachabilityEngine`,
+``last_audience_plans`` on
+:class:`~repro.policy.engine.AccessControlEngine`) survive as properties
+that emit a :class:`DeprecationWarning` on read and point at the
+result-carried replacement.  Python's default warning filter deduplicates
+by call site, so a hot loop reading a deprecated attribute warns once.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the caller's caller."""
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

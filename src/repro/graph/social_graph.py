@@ -186,13 +186,28 @@ class SocialGraph:
         self._num_edges = 0
         self._label_counts: Dict[str, int] = {}
         self._epoch = 0
-        # Bounded mutation journal: (epoch after the mutation, operation).
-        # The journal is *complete* for every epoch in (_journal_floor, epoch];
-        # once an entry falls off the left end the floor advances and older
-        # snapshots can no longer be patched — they rebuild from scratch.
-        self._journal: Deque[Tuple[int, MutationOp]] = deque()
+        # Bounded, *compacting* mutation journal.  Each entry is a mutable
+        # ``[last_epoch, op, weight]`` triple: ``op`` is the operation,
+        # ``weight`` how many epoch bumps the entry stands for, and
+        # ``last_epoch`` the most recent of them.  Repeated attribute writes
+        # to the same user merge into one entry (the op is a pure
+        # invalidation marker — it carries no attribute payload — so
+        # coalescing is replay-safe; see :meth:`_record`), which is what lets
+        # ``journal_limit`` absorb attribute-hot churn bursts far larger than
+        # the entry bound.  The journal is *complete* for every epoch in
+        # ``(_journal_floor, epoch]``; once an entry falls off the left end
+        # the floor advances and older snapshots can no longer be patched —
+        # they rebuild from scratch.
+        self._journal: Deque[List[Any]] = deque()
         self._journal_limit = max(0, journal_limit)
         self._journal_floor = 0
+        # Total weight of the retained entries: every bump recorded since the
+        # floor is represented.  ``mutations_since`` checks the invariant
+        # ``weight >= epoch - floor`` to detect epoch bumps that bypassed the
+        # journal (a defensive guard against buggy mutation paths).
+        self._journal_weight = 0
+        # user -> its live ("update_user", user) journal entry, for merging.
+        self._attr_entries: Dict[UserId, List[Any]] = {}
 
     # ---------------------------------------------------- epochs and journal
 
@@ -223,6 +238,8 @@ class SocialGraph:
     def journal_limit(self, limit: int) -> None:
         self._journal_limit = max(0, limit)
         self._journal.clear()
+        self._attr_entries.clear()
+        self._journal_weight = 0
         self._journal_floor = self._epoch
 
     def _record(self, *op: Any) -> None:
@@ -231,22 +248,68 @@ class SocialGraph:
         Every mutating path funnels through here — the structural methods
         and :class:`AttributeMap` write-through alike — so the journal is
         exactly as complete as the epoch is monotone.
+
+        **Compaction.**  An ``("update_user", u)`` record is a pure
+        invalidation marker: it names the user whose attributes changed but
+        carries no values (the compiled snapshot shares the attribute dicts,
+        so replaying the marker just re-invalidates derived state).  A
+        repeat write to the same user therefore *merges* with the user's
+        existing entry: the old slot is **tombstoned** (weight zeroed — its
+        coverage transfers wholesale) and one fresh entry carrying the
+        combined weight is appended at the young end.  Floating the marker
+        later in the replayed span is safe because attribute markers commute
+        with every other operation (``remove_user`` aborts delta patches
+        wholesale before any op is applied), and coverage stays exact: an
+        entry is part of the span ``(epoch, now]`` iff any of its merged
+        bumps is, and ``last_epoch`` is their maximum.  Keeping merged
+        coverage at the young end matters for eviction: overflow pops the
+        *oldest* slot, which for a merge chain is a free tombstone — the
+        floor only ever advances past coverage that is genuinely gone, so
+        attribute-hot histories with interleaved structural ops keep their
+        delta coverage instead of collapsing to a full rebuild.
         """
         self._epoch += 1
         if not self._journal_limit:
             self._journal_floor = self._epoch
             return
-        self._journal.append((self._epoch, op))
-        if len(self._journal) > self._journal_limit:
-            self._journal_floor = self._journal.popleft()[0]
+        self._journal_weight += 1
+        weight = 1
+        if op[0] == "update_user":
+            merged = self._attr_entries.get(op[1])
+            if merged is not None:
+                weight += merged[2]
+                merged[2] = 0  # tombstone: coverage moves to the new entry
+        entry: List[Any] = [self._epoch, op, weight]
+        self._journal.append(entry)
+        if op[0] == "update_user":
+            self._attr_entries[op[1]] = entry
+        while len(self._journal) > self._journal_limit:
+            evicted = self._journal.popleft()
+            if not evicted[2]:
+                continue  # a tombstone: its coverage lives in a younger entry
+            self._journal_weight -= evicted[2]
+            if evicted[0] > self._journal_floor:
+                self._journal_floor = evicted[0]
+            evicted_op = evicted[1]
+            if (
+                evicted_op[0] == "update_user"
+                and self._attr_entries.get(evicted_op[1]) is evicted
+            ):
+                del self._attr_entries[evicted_op[1]]
 
     def mutations_since(self, epoch: int) -> Optional[List[MutationOp]]:
         """Return the mutations committed after ``epoch``, oldest first.
 
+        Repeated attribute writes to one user are **coalesced**: the span may
+        contain a single ``("update_user", u)`` marker standing for many
+        writes (and, when the merged entry straddles ``epoch``, for writes
+        from just before the span too — harmless over-invalidation).  Every
+        structural operation appears exactly once, in commit order.
+
         Returns ``None`` when the journal cannot prove completeness for the
         span ``(epoch, self.epoch]`` — the journal overflowed past ``epoch``,
         ``epoch`` is from another graph's timeline, or an epoch bump bypassed
-        the journal (a defensive contiguity check).  ``None`` tells
+        the journal (a defensive weight check).  ``None`` tells
         :func:`~repro.graph.compiled.compile_graph` to fall back to a full
         snapshot rebuild; a (possibly empty) list is a complete delta.
         """
@@ -254,10 +317,13 @@ class SocialGraph:
             return []
         if epoch < self._journal_floor or epoch > self._epoch:
             return None
-        ops = [op for entry_epoch, op in self._journal if entry_epoch > epoch]
-        if len(ops) != self._epoch - epoch:
-            return None
-        return ops
+        if self._journal_weight < self._epoch - self._journal_floor:
+            return None  # some bump bypassed _record: coverage is unprovable
+        return [
+            op
+            for entry_epoch, op, weight in self._journal
+            if weight and entry_epoch > epoch
+        ]
 
     # ------------------------------------------------------------------ users
 
@@ -301,6 +367,10 @@ class SocialGraph:
         del self._nodes[user]
         del self._succ[user]
         del self._pred[user]
+        # Close the user's attribute-merge anchor: a write after a later
+        # re-add must append a fresh entry (in order w.r.t. the removal)
+        # rather than float this user's pre-removal marker forward.
+        self._attr_entries.pop(user, None)
         self._record("remove_user", user)
 
     def has_user(self, user: UserId) -> bool:

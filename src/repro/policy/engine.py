@@ -25,13 +25,15 @@ facade's cache-invalidation contract verbatim: decisions are memoized under
 the graph's mutation ``epoch`` (any committed mutation — structural or an
 attribute write through ``graph.attributes(u)`` — invalidates them), and
 constructor keyword ``cache_size=0`` disables the memo.  The bulk
-:meth:`AccessControlEngine.authorized_audiences` groups access conditions
+:meth:`AccessControlEngine.audiences_with_plans` groups access conditions
 across the requested resources by path expression and answers each group
 with one multi-source owner-bitset sweep; ``direction=`` pins that sweep's
 planner and the executed per-expression
-:class:`~repro.reachability.compiled_search.SweepPlan` objects are recorded
-in :attr:`AccessControlEngine.last_audience_plans` (empty for expressions
-served entirely from the memo).
+:class:`~repro.reachability.compiled_search.SweepPlan` objects are
+**returned with the audiences** (no entry for expressions served entirely
+from the memo).  The legacy :attr:`AccessControlEngine.last_audience_plans`
+attribute survives as a deprecated read-property mirroring the most recent
+:meth:`authorized_audiences` call.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
+from repro._deprecation import warn_deprecated
 from repro.graph.social_graph import SocialGraph
 from repro.policy.audit import AuditLog
 from repro.policy.decisions import AccessDecision, ConditionOutcome, Effect, RuleOutcome
@@ -50,7 +53,14 @@ __all__ = ["AccessControlEngine"]
 
 
 class AccessControlEngine:
-    """Evaluate access requests against a policy store over a social graph."""
+    """Evaluate access requests against a policy store over a social graph.
+
+    ``backend`` may be a backend name, a backend evaluator instance, or a
+    prebuilt :class:`ReachabilityEngine` — the last form is how the
+    :class:`~repro.service.GraphService` facade shares one engine (and its
+    epoch-stamped memos) between reach queries and access checks on the
+    same backend.
+    """
 
     def __init__(
         self,
@@ -64,13 +74,43 @@ class AccessControlEngine:
     ) -> None:
         self.graph = graph
         self.store = store if store is not None else PolicyStore()
-        self.reachability = ReachabilityEngine(graph, backend, **backend_options)
+        if isinstance(backend, ReachabilityEngine):
+            if backend_options:
+                raise TypeError(
+                    "backend_options cannot be combined with a prebuilt "
+                    "ReachabilityEngine (configure the engine directly)"
+                )
+            self.reachability = backend
+        else:
+            self.reachability = ReachabilityEngine(graph, backend, **backend_options)
         self.default_effect = default_effect
         self.audit_log = audit_log
-        #: Executed sweep plans of the most recent :meth:`authorized_audiences`
-        #: call, keyed by expression text — benchmarks read the planner's
-        #: forward/reverse choices here.
-        self.last_audience_plans: Dict[str, object] = {}
+        # Executed sweep plans of the most recent bulk audience call, keyed
+        # by expression text.  Exposed only through the deprecated
+        # ``last_audience_plans`` property — :meth:`audiences_with_plans`
+        # returns the plans with the audiences they describe.
+        self._last_audience_plans: Dict[str, object] = {}
+
+    @property
+    def last_audience_plans(self) -> Dict[str, object]:
+        """Deprecated side-channel: plans of the most recent bulk audience call.
+
+        Empty for expressions served entirely from the memo.  Prefer
+        :meth:`audiences_with_plans`, which returns the executed plans with
+        the audiences — this attribute reflects only the latest call and is
+        overwritten by the next one.
+        """
+        warn_deprecated(
+            "AccessControlEngine.last_audience_plans is a deprecated "
+            "side-channel; use audiences_with_plans() (or "
+            "GraphService.bulk_access) which return the executed plans with "
+            "the result"
+        )
+        return self._last_audience_plans
+
+    @last_audience_plans.setter
+    def last_audience_plans(self, plans: Dict[str, object]) -> None:
+        self._last_audience_plans = plans
 
     # ------------------------------------------------------------------ api
 
@@ -165,22 +205,26 @@ class AccessControlEngine:
         """
         return self.authorized_audiences([resource_id], direction=direction)[resource_id]
 
-    def authorized_audiences(
+    def audiences_with_plans(
         self,
         resource_ids: Iterable[Hashable],
         *,
         direction: str = "auto",
-    ) -> Dict[Hashable, Set[Hashable]]:
+    ) -> Tuple[Dict[Hashable, Set[Hashable]], Dict[str, object]]:
         """Materialize the audiences of many resources in one bulk pass.
 
         Access conditions across every requested resource are grouped by
         path expression and each group is answered by one
-        :meth:`ReachabilityEngine.find_targets_many` call — a single
+        :meth:`ReachabilityEngine.sweep_targets_many` call — a single
         multi-source owner-bitset sweep shared by every owner of the group —
         then recombined per rule.  ``direction`` pins the sweep planner
         (forward from the owners, reverse from the whole vertex set, or the
-        per-owner ``"batched"`` baseline); the executed plans are recorded
-        in :attr:`last_audience_plans` keyed by expression text.
+        per-owner ``"batched"`` baseline).
+
+        Returns ``(audiences, plans)`` where ``plans`` maps expression text
+        to the executed :class:`~repro.reachability.compiled_search.
+        SweepPlan` of that expression's sweep; expressions served entirely
+        from the memo swept nothing and have no entry.
         """
         resource_ids = list(dict.fromkeys(resource_ids))
         rules_of = {rid: self.store.rules_for(rid) for rid in resource_ids}
@@ -196,16 +240,15 @@ class AccessControlEngine:
                         entry = sweeps[text] = (condition.path, {})
                     entry[1][condition.owner] = None
         audience_of: Dict[Tuple[str, Hashable], Set[Hashable]] = {}
-        self.last_audience_plans = {}
+        plans: Dict[str, object] = {}
         for text, (path, owners) in sweeps.items():
-            computed = self.reachability.find_targets_many(
+            computed, plan = self.reachability.sweep_targets_many(
                 owners, path, direction=direction
             )
             for owner, targets in computed.items():
                 audience_of[(text, owner)] = targets
-            plan = self.reachability.last_sweep_plan
             if plan is not None:
-                self.last_audience_plans[text] = plan
+                plans[text] = plan
         audiences: Dict[Hashable, Set[Hashable]] = {}
         for resource_id in resource_ids:
             resource = self.store.resource(resource_id)
@@ -213,6 +256,23 @@ class AccessControlEngine:
             for rule in rules_of[resource_id]:
                 audience |= self._combine_rule_audience(rule, audience_of)
             audiences[resource_id] = audience
+        return audiences, plans
+
+    def authorized_audiences(
+        self,
+        resource_ids: Iterable[Hashable],
+        *,
+        direction: str = "auto",
+    ) -> Dict[Hashable, Set[Hashable]]:
+        """Audiences-only form of :meth:`audiences_with_plans`.
+
+        Kept for callers that do not need the executed plans; they are still
+        mirrored on the deprecated ``last_audience_plans`` side-channel.
+        """
+        audiences, plans = self.audiences_with_plans(
+            resource_ids, direction=direction
+        )
+        self._last_audience_plans = plans
         return audiences
 
     def _rule_audience(self, rule: AccessRule) -> Set[Hashable]:

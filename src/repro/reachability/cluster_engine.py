@@ -50,7 +50,11 @@ from repro.graph.paths import Path, Traversal
 from repro.graph.social_graph import SocialGraph, raw_attributes_getter
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction
-from repro.reachability.compiled_search import AutomatonCache, audience_sweep
+from repro.reachability.compiled_search import (
+    AutomatonCache,
+    SweepPlanSideChannel,
+    audience_sweep,
+)
 from repro.reachability.interned import FORWARD_BYTE, InternedLineIndex, interned_line_index
 from repro.reachability.join_index import JoinIndex
 from repro.reachability.linegraph import FORWARD, LineGraph, LineVertex
@@ -69,14 +73,10 @@ __all__ = ["ClusterIndexEvaluator"]
 _HopSpec = Tuple[int, bool, bool, int]
 
 
-class ClusterIndexEvaluator:
+class ClusterIndexEvaluator(SweepPlanSideChannel):
     """Index-backed evaluator (line graph + 2-hop cover + cluster join index)."""
 
     name = "cluster-index"
-
-    #: Executed :class:`~repro.reachability.compiled_search.SweepPlan` of the
-    #: most recent batched audience sweep (``None`` before the first one).
-    last_sweep_plan = None
 
     def __init__(
         self,
@@ -225,13 +225,13 @@ class ClusterIndexEvaluator:
             targets.update(chain[-1].end for chain in tuples)
         return targets
 
-    def find_targets_many(
+    def sweep_targets_many(
         self,
         sources: Iterable[Hashable],
         expression: PathExpression,
         *,
         direction: str = "auto",
-    ) -> Dict[Hashable, Set[Hashable]]:
+    ):
         """Materialize audiences for many owners in one multi-source sweep.
 
         On the interned path the sweep runs the shared owner-bitset product
@@ -244,16 +244,20 @@ class ClusterIndexEvaluator:
         ``expansion_limit`` guard is still enforced so this method raises on
         exactly the expressions :meth:`find_targets` raises on (the engine
         memoizes both under the same key, so diverging here would make
-        results call-order dependent).  ``direction`` pins the planner; the
-        executed plan lands on ``last_sweep_plan``.
+        results call-order dependent).  ``direction`` pins the planner.
+
+        Returns ``({owner: audience}, executed SweepPlan or None)`` — the
+        plan is ``None`` on the legacy string path, which plans nothing.
         """
         self._require_built()
         self._check_directions(expression)
         check_expansion_limit(expression, self.expansion_limit)
         sources = list(sources)
-        self.last_sweep_plan = None
         if self._index is None:
-            return {source: self.find_targets(source, expression) for source in sources}
+            return (
+                {source: self.find_targets(source, expression) for source in sources},
+                None,
+            )
         snapshot = self._index.snapshot
         live_epoch = getattr(self.graph, "epoch", None)
         if live_epoch != self._audience_epoch:
@@ -272,12 +276,14 @@ class ClusterIndexEvaluator:
             snapshot, automaton, [index for _position, index in present],
             direction=direction,
         )
-        self.last_sweep_plan = sweep.plan
         user_of = snapshot.node_ids
         audiences: Dict[Hashable, Set[Hashable]] = {source: set() for source in sources}
         for (position, _index), accepted in zip(present, sweep.audiences):
             audiences[sources[position]] = {user_of[node] for node in accepted}
-        return audiences
+        return audiences, sweep.plan
+
+    # find_targets_many (the audiences-only legacy wrapper) is inherited
+    # from SweepPlanSideChannel, shared by all four backends.
 
     def _check_directions(self, expression: PathExpression) -> None:
         """A forward-only line graph cannot evaluate steps that traverse edges backwards."""

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro._deprecation import warn_deprecated
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.paths import Path, Traversal
 from repro.graph.social_graph import UserId
@@ -49,6 +50,7 @@ __all__ = [
     "CompiledSearchMixin",
     "SearchOutcome",
     "SweepPlan",
+    "SweepPlanSideChannel",
     "AudienceSweep",
     "product_search",
     "audience_sweep",
@@ -219,7 +221,52 @@ class AutomatonCache:
         return len(self._cache)
 
 
-class CompiledSearchMixin:
+class SweepPlanSideChannel:
+    """Deprecated ``last_sweep_plan`` alias shared by every backend.
+
+    Since PR 5 the executed :class:`SweepPlan` is *returned* next to the
+    audiences (``sweep_targets_many``) and carried on the
+    :class:`~repro.service.results.AudienceResult` objects the
+    :class:`~repro.service.GraphService` facade hands out — a result owns
+    its plan forever, where the mutable attribute only described the most
+    recent call (and a memo-warm call could leave a *previous* call's plan
+    behind on the backend).  Reading the attribute still works but emits a
+    :class:`DeprecationWarning`; assigning it is allowed so legacy callers
+    that reset it keep working.
+    """
+
+    _last_sweep_plan: Optional["SweepPlan"] = None
+
+    @property
+    def last_sweep_plan(self) -> Optional["SweepPlan"]:
+        warn_deprecated(
+            f"{type(self).__name__}.last_sweep_plan is a deprecated side-channel; "
+            "use the plan returned by sweep_targets_many() (or carried by "
+            "GraphService audience results) instead"
+        )
+        return self._last_sweep_plan
+
+    @last_sweep_plan.setter
+    def last_sweep_plan(self, plan: Optional["SweepPlan"]) -> None:
+        self._last_sweep_plan = plan
+
+    def find_targets_many(
+        self, sources, expression: PathExpression, *, direction: str = "auto"
+    ):
+        """Audiences-only form of ``sweep_targets_many`` (the pre-PR 5 shape).
+
+        The one legacy wrapper shared by every backend: kept for callers
+        that do not need the executed plan, which is still mirrored on the
+        deprecated ``last_sweep_plan`` side-channel.
+        """
+        audiences, plan = self.sweep_targets_many(
+            sources, expression, direction=direction
+        )
+        self._last_sweep_plan = plan
+        return audiences
+
+
+class CompiledSearchMixin(SweepPlanSideChannel):
     """Compiled-search dispatch shared by the online BFS/DFS evaluators.
 
     Hosts need ``self.graph`` and an ``AutomatonCache`` at ``self._automata``;
@@ -227,10 +274,6 @@ class CompiledSearchMixin:
     """
 
     _depth_first = False
-    #: The :class:`SweepPlan` of the most recent batched audience sweep
-    #: (``None`` before the first sweep) — benchmarks read the planner's
-    #: forward/reverse choice here.
-    last_sweep_plan: Optional["SweepPlan"] = None
 
     def _compiled_search(
         self,
@@ -257,24 +300,28 @@ class CompiledSearchMixin:
         )
 
 
-    def _compiled_find_targets_many(
+    def _compiled_sweep_many(
         self,
         sources: Sequence[UserId],
         expression: PathExpression,
         *,
         direction: str = "auto",
-    ) -> Dict[UserId, Set[UserId]]:
-        """Batched ``find_targets``: one automaton compile, one shared sweep."""
+    ) -> Tuple[Dict[UserId, Set[UserId]], "SweepPlan"]:
+        """Batched ``find_targets``: one automaton compile, one shared sweep.
+
+        Returns ``(audiences, executed plan)`` — the plan travels with the
+        result instead of through a mutable attribute.
+        """
         snapshot = compile_graph(self.graph)
         automaton = self._automata.get(expression, snapshot)
         indices = [snapshot.index_of(source) for source in sources]
         user_of = snapshot.node_ids
         sweep = audience_sweep(snapshot, automaton, indices, direction=direction)
-        self.last_sweep_plan = sweep.plan
-        return {
+        audiences = {
             source: {user_of[node] for node in accepted}
             for source, accepted in zip(sources, sweep.audiences)
         }
+        return audiences, sweep.plan
 
 
 class SearchOutcome:

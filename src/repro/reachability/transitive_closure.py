@@ -34,6 +34,7 @@ from repro.graph.social_graph import SocialGraph
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction
 from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.compiled_search import SweepPlanSideChannel
 from repro.reachability.result import EvaluationResult
 
 __all__ = ["TransitiveClosureIndex", "TransitiveClosureEvaluator"]
@@ -201,7 +202,7 @@ class TransitiveClosureIndex:
         }
 
 
-class TransitiveClosureEvaluator:
+class TransitiveClosureEvaluator(SweepPlanSideChannel):
     """Constrained-query evaluator that prunes with the transitive closure.
 
     The closure alone cannot answer ordered label-constraint queries (it
@@ -211,10 +212,6 @@ class TransitiveClosureEvaluator:
     """
 
     name = "transitive-closure"
-
-    #: Executed :class:`~repro.reachability.compiled_search.SweepPlan` of the
-    #: most recent batched audience sweep (mirrored from the inner BFS).
-    last_sweep_plan = None
 
     def __init__(self, graph: SocialGraph) -> None:
         self.graph = graph
@@ -273,20 +270,21 @@ class TransitiveClosureEvaluator:
             raise IndexNotBuiltError("call build() before evaluating queries")
         return self._bfs.find_targets(source, expression)
 
-    def find_targets_many(
+    def sweep_targets_many(
         self, sources, expression: PathExpression, *, direction: str = "auto"
-    ) -> Dict[Hashable, Set[Hashable]]:
+    ):
         """Batched :meth:`find_targets`, delegated to the multi-source BFS sweep.
 
         The closure prunes single (source, target) decisions, not audience
         materialization, so the inner evaluator's owner-bitset sweep is used
-        as-is; its executed plan is mirrored on ``self.last_sweep_plan``.
+        as-is.  Returns ``({owner: audience}, executed SweepPlan or None)``.
         """
         if not self._built:
             raise IndexNotBuiltError("call build() before evaluating queries")
-        audiences = self._bfs.find_targets_many(sources, expression, direction=direction)
-        self.last_sweep_plan = self._bfs.last_sweep_plan
-        return audiences
+        return self._bfs.sweep_targets_many(sources, expression, direction=direction)
+
+    # find_targets_many (the audiences-only legacy wrapper) is inherited
+    # from SweepPlanSideChannel, shared by all four backends.
 
     # ---------------------------------------------------------------- prune
 

@@ -1,0 +1,483 @@
+"""The :class:`GraphService` session facade — one object, one API.
+
+The facade owns everything a serving process needs per graph:
+
+* the **graph** and its compiled-snapshot refresh (delta maintenance under
+  churn included — :meth:`GraphService.refresh` is explicit, every query
+  path refreshes lazily);
+* the **policy store**, audit log and default effect for access checks;
+* the **backend registry**: one :class:`~repro.reachability.engine.
+  ReachabilityEngine` per backend name, created lazily, with index backends
+  (transitive closure, cluster index) rebuilt before use whenever the graph
+  has mutated since their last build — a query routed through the service
+  never reads a stale index;
+* the **planner** and its plan cache, plus the mutation-stability counter
+  the index-build amortization feeds on;
+* every **cache** (parse, decision memo, target-set memo) via the per-
+  backend engines.
+
+Queries go through :meth:`GraphService.execute` (typed query objects) or
+the convenience verbs (:meth:`reach`, :meth:`audience`, :meth:`check`,
+:meth:`bulk_access`) that build the query objects for you.  Every answer is
+a :class:`~repro.service.results.PlannedResult` carrying the executed
+:class:`~repro.service.planner.ExecutionPlan`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.exceptions import UnknownBackendError
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.policy.audit import AuditLog
+from repro.policy.decisions import Effect
+from repro.policy.engine import AccessControlEngine
+from repro.policy.path_expression import PathExpression
+from repro.policy.store import PolicyStore
+from repro.reachability.engine import ReachabilityEngine, available_backends
+from repro.service.planner import INDEX_BACKENDS, QueryPlanner
+from repro.service.queries import (
+    AccessQuery,
+    AudienceQuery,
+    BulkAccessQuery,
+    Expression,
+    Query,
+    ReachQuery,
+)
+from repro.service.results import (
+    AccessResult,
+    AudienceResult,
+    BulkAccessResult,
+    ReachResult,
+)
+
+__all__ = ["GraphService"]
+
+
+class GraphService:
+    """Session facade over one social graph: plan, execute, explain.
+
+    Parameters
+    ----------
+    graph:
+        The canonical :class:`SocialGraph` (the service observes its
+        mutation epoch; mutate the graph freely between queries).
+    store:
+        The :class:`PolicyStore` access checks evaluate against (a fresh
+        empty store by default).
+    backends:
+        The backend names the planner may choose among (default: every
+        registered backend).  Pinning a query to a backend outside this set
+        raises :class:`UnknownBackendError`.
+    default_backend:
+        A service-wide pin: every query without its own ``backend=`` runs
+        there.  ``None`` / ``"auto"`` (the default) enables per-query
+        auto-selection.
+    cache_size:
+        Per-backend engine memo capacity (``0`` disables memoization —
+        benchmarks use it to measure raw planning + execution).
+    backend_options:
+        Optional per-backend constructor kwargs, e.g.
+        ``{"cluster-index": {"expansion_limit": 64}}``.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        store: Optional[PolicyStore] = None,
+        *,
+        backends: Optional[Iterable[str]] = None,
+        default_backend: Optional[str] = None,
+        cache_size: int = 4096,
+        default_effect: Effect = Effect.DENY,
+        audit_log: Optional[AuditLog] = None,
+        planner: Optional[QueryPlanner] = None,
+        backend_options: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        self.graph = graph
+        self.store = store if store is not None else PolicyStore()
+        self.default_effect = default_effect
+        self.audit_log = audit_log
+        self._backend_options = dict(backend_options or {})
+        self._backends: Tuple[str, ...] = tuple(
+            backends if backends is not None else available_backends()
+        )
+        if not self._backends:
+            raise ValueError("GraphService needs at least one backend")
+        self._default_pin = self._normalize_pin(default_backend)
+        self._cache_size = cache_size
+        self.planner = planner if planner is not None else QueryPlanner(
+            backend_options=self._backend_options
+        )
+        self._engines: Dict[str, ReachabilityEngine] = {}
+        self._access_engines: Dict[str, AccessControlEngine] = {}
+        self._built_epoch: Dict[str, int] = {}
+        # Stability = queries answered since the graph last mutated; the
+        # planner amortizes index builds over it (see repro.service.planner).
+        self._seen_epoch = getattr(graph, "epoch", 0)
+        self._stability = 0
+        self.queries_executed = 0
+        # Observed-outcome feedback per expression text: [queries, denials].
+        # The planner's transitive-closure prune estimate scales with the
+        # measured unreachable rate — the service's cardinality feedback.
+        self._reach_outcomes: Dict[str, List[int]] = {}
+        # Service-owned parse cache.  Parsing must not route through
+        # engine() — that path enforces index freshness and would rebuild a
+        # stale index backend just to parse text, behind the planner's back.
+        self._parse_cache: Dict[str, PathExpression] = {}
+
+    # ------------------------------------------------------------- registry
+
+    def _normalize_pin(self, backend: Optional[str]) -> Optional[str]:
+        if backend is None or backend == "auto":
+            return None
+        if backend not in self._backends:
+            raise UnknownBackendError(backend, sorted(self._backends))
+        return backend
+
+    def engine(self, backend: str) -> ReachabilityEngine:
+        """Return the (lazily created, freshly built) engine of one backend.
+
+        Index backends are rebuilt here whenever the graph has mutated since
+        their last build, so a query the service routes to them never reads
+        a stale index — the staleness semantics of directly-constructed
+        evaluators stop at this boundary.
+        """
+        if backend not in self._backends:
+            raise UnknownBackendError(backend, sorted(self._backends))
+        engine = self._engines.get(backend)
+        epoch = getattr(self.graph, "epoch", 0)
+        if engine is None:
+            options = dict(self._backend_options.get(backend, {}))
+            engine = ReachabilityEngine(
+                self.graph, backend, cache_size=self._cache_size, **options
+            )
+            self._engines[backend] = engine
+            self._built_epoch[backend] = epoch
+        elif backend in INDEX_BACKENDS and self._built_epoch.get(backend) != epoch:
+            engine.evaluator.build()
+            self._built_epoch[backend] = epoch
+        return engine
+
+    def access_engine(self, backend: str) -> AccessControlEngine:
+        """Return the access-control engine sharing one backend's memos."""
+        reachability = self.engine(backend)  # ensures existence + freshness
+        access = self._access_engines.get(backend)
+        if access is None:
+            access = AccessControlEngine(
+                self.graph,
+                self.store,
+                backend=reachability,
+                default_effect=self.default_effect,
+                audit_log=self.audit_log,
+            )
+            self._access_engines[backend] = access
+        return access
+
+    @property
+    def backends(self) -> Tuple[str, ...]:
+        """The backend names the planner may choose among."""
+        return self._backends
+
+    def _freshness(self) -> Dict[str, bool]:
+        """Which backends can execute right now without paying a build."""
+        epoch = getattr(self.graph, "epoch", 0)
+        fresh: Dict[str, bool] = {}
+        for name in self._backends:
+            if name in INDEX_BACKENDS:
+                fresh[name] = (
+                    name in self._engines and self._built_epoch.get(name) == epoch
+                )
+            else:
+                fresh[name] = True  # online walks compile the snapshot lazily
+        return fresh
+
+    # ------------------------------------------------------------ lifecycle
+
+    def refresh(self) -> CompiledGraph:
+        """Bring the compiled snapshot up to date (delta patch or rebuild).
+
+        Query paths refresh lazily; this explicit form lets serving code pay
+        the refresh at a chosen moment (e.g. right after a churn burst).
+        """
+        return compile_graph(self.graph)
+
+    def _tick(self) -> int:
+        """Advance the stability counter; returns the current epoch."""
+        epoch = getattr(self.graph, "epoch", 0)
+        if epoch != self._seen_epoch:
+            self._seen_epoch = epoch
+            self._stability = 0
+        else:
+            self._stability += 1
+        self.queries_executed += 1
+        return epoch
+
+    def _parse(self, expression: Expression) -> PathExpression:
+        if isinstance(expression, PathExpression):
+            return expression
+        parsed = self._parse_cache.get(expression)
+        if parsed is None:
+            parsed = self._parse_cache[expression] = PathExpression.parse(expression)
+        return parsed
+
+    #: Outcomes observed before this are too few to trust as a rate.
+    _RATE_SAMPLE_FLOOR = 16
+
+    def _unreachable_rate(self, text: str) -> float:
+        """Observed share of unreachable answers for one expression.
+
+        Returns ``0.0`` until :attr:`_RATE_SAMPLE_FLOOR` outcomes accrue, so
+        a handful of early denials cannot talk the planner into an index.
+        """
+        outcome = self._reach_outcomes.get(text)
+        if outcome is None or outcome[0] < self._RATE_SAMPLE_FLOOR:
+            return 0.0
+        return outcome[1] / outcome[0]
+
+    def _observe_outcome(self, text: str, reachable: bool) -> None:
+        outcome = self._reach_outcomes.get(text)
+        if outcome is None:
+            outcome = self._reach_outcomes[text] = [0, 0]
+        outcome[0] += 1
+        outcome[1] += int(not reachable)
+
+    # ------------------------------------------------------------ execution
+
+    def execute(
+        self, query: Query
+    ) -> Union[ReachResult, AudienceResult, AccessResult, BulkAccessResult]:
+        """Plan and run one typed query; returns its plan-carrying result."""
+        if isinstance(query, ReachQuery):
+            return self._execute_reach(query)
+        if isinstance(query, AudienceQuery):
+            return self._execute_audience(query)
+        if isinstance(query, AccessQuery):
+            return self._execute_access(query)
+        if isinstance(query, BulkAccessQuery):
+            return self._execute_bulk(query)
+        raise TypeError(f"not a service query: {query!r}")
+
+    def _pin_of(self, query_backend: Optional[str]) -> Optional[str]:
+        pin = self._normalize_pin(query_backend)
+        return pin if pin is not None else self._default_pin
+
+    def _execute_reach(self, query: ReachQuery) -> ReachResult:
+        started = time.perf_counter()
+        self._tick()
+        expression = self._parse(query.expression)
+        text = expression.to_text()
+        plan = self.planner.plan_reach(
+            compile_graph(self.graph),
+            expression,
+            backends=self._backends,
+            fresh=self._freshness(),
+            stability=self._stability,
+            pinned=self._pin_of(query.backend),
+            unreachable_rate=self._unreachable_rate(text),
+        )
+        engine = self.engine(plan.backend)
+        outcome = engine.evaluate(
+            query.source,
+            query.target,
+            expression,
+            collect_witness=query.collect_witness,
+        )
+        self._observe_outcome(text, outcome.reachable)
+        return ReachResult(
+            plan=plan,
+            elapsed_seconds=time.perf_counter() - started,
+            reachable=outcome.reachable,
+            witness=outcome.witness,
+            counters=outcome.counters,
+        )
+
+    def _execute_audience(self, query: AudienceQuery) -> AudienceResult:
+        started = time.perf_counter()
+        self._tick()
+        expression = self._parse(query.expression)
+        plan = self.planner.plan_audience(
+            compile_graph(self.graph),
+            expression,
+            len(query.owners),
+            backends=self._backends,
+            fresh=self._freshness(),
+            stability=self._stability,
+            pinned=self._pin_of(query.backend),
+            direction=query.direction,
+        )
+        engine = self.engine(plan.backend)
+        audiences, sweep_plan = engine.sweep_targets_many(
+            query.owners, expression, direction=query.direction
+        )
+        return AudienceResult(
+            plan=plan,
+            elapsed_seconds=time.perf_counter() - started,
+            audiences=audiences,
+            sweep_plan=sweep_plan,
+        )
+
+    def _execute_access(self, query: AccessQuery) -> AccessResult:
+        started = time.perf_counter()
+        self._tick()
+        expressions = [
+            condition.path
+            for rule in self.store.rules_for(query.resource_id)
+            for condition in rule.conditions
+        ]
+        rates = [
+            self._unreachable_rate(expression.to_text())
+            for expression in expressions
+        ]
+        plan = self.planner.plan_access(
+            compile_graph(self.graph),
+            expressions,
+            backends=self._backends,
+            fresh=self._freshness(),
+            stability=self._stability,
+            pinned=self._pin_of(query.backend),
+            unreachable_rate=min(rates) if rates else 0.0,
+        )
+        access = self.access_engine(plan.backend)
+        decision = access.check_access(
+            query.requester, query.resource_id, explain=query.explain
+        )
+        return AccessResult(
+            plan=plan,
+            elapsed_seconds=time.perf_counter() - started,
+            decision=decision,
+        )
+
+    def _execute_bulk(self, query: BulkAccessQuery) -> BulkAccessResult:
+        started = time.perf_counter()
+        self._tick()
+        distinct: Set[str] = {
+            condition.path.to_text()
+            for resource_id in query.resource_ids
+            for rule in self.store.rules_for(resource_id)
+            for condition in rule.conditions
+        }
+        plan = self.planner.plan_bulk_access(
+            compile_graph(self.graph),
+            len(distinct),
+            backends=self._backends,
+            fresh=self._freshness(),
+            stability=self._stability,
+            pinned=self._pin_of(query.backend),
+            direction=query.direction,
+        )
+        access = self.access_engine(plan.backend)
+        audiences, sweep_plans = access.audiences_with_plans(
+            query.resource_ids, direction=query.direction
+        )
+        return BulkAccessResult(
+            plan=plan,
+            elapsed_seconds=time.perf_counter() - started,
+            audiences=audiences,
+            sweep_plans=sweep_plans,
+        )
+
+    # ------------------------------------------------------- convenience api
+
+    def reach(
+        self,
+        source: Hashable,
+        target: Hashable,
+        expression: Expression,
+        *,
+        collect_witness: bool = True,
+        backend: Optional[str] = None,
+    ) -> ReachResult:
+        """Plan and evaluate one reachability query."""
+        return self._execute_reach(
+            ReachQuery(source, target, expression, collect_witness, backend)
+        )
+
+    def is_reachable(
+        self, source: Hashable, target: Hashable, expression: Expression
+    ) -> bool:
+        """Boolean-only form of :meth:`reach` (no witness collected)."""
+        return self.reach(
+            source, target, expression, collect_witness=False
+        ).reachable
+
+    def audience(
+        self,
+        owners,
+        expression: Expression,
+        *,
+        direction: str = "auto",
+        backend: Optional[str] = None,
+    ) -> AudienceResult:
+        """Materialize the audience of one owner or of many owners at once."""
+        return self._execute_audience(
+            AudienceQuery(owners, expression, direction, backend)
+        )
+
+    def check(
+        self,
+        requester: Hashable,
+        resource_id: Hashable,
+        *,
+        explain: bool = True,
+        backend: Optional[str] = None,
+    ) -> AccessResult:
+        """Plan and evaluate one access request against the policy store."""
+        return self._execute_access(
+            AccessQuery(requester, resource_id, explain, backend)
+        )
+
+    def is_allowed(self, requester: Hashable, resource_id: Hashable) -> bool:
+        """Boolean-only form of :meth:`check` (no explanation collected)."""
+        return self.check(requester, resource_id, explain=False).granted
+
+    def explain(self, requester: Hashable, resource_id: Hashable) -> str:
+        """Return the human-readable explanation of one access decision."""
+        return self.check(requester, resource_id, explain=True).explain()
+
+    def bulk_access(
+        self,
+        resource_ids,
+        *,
+        direction: str = "auto",
+        backend: Optional[str] = None,
+    ) -> BulkAccessResult:
+        """Materialize the authorized audiences of many resources at once."""
+        return self._execute_bulk(
+            BulkAccessQuery(resource_ids, direction, backend)
+        )
+
+    def authorized_audience(
+        self, resource_id: Hashable, *, direction: str = "auto"
+    ) -> Set[Hashable]:
+        """The full audience of one resource (convenience over bulk_access)."""
+        return self.bulk_access([resource_id], direction=direction)[resource_id]
+
+    # ---------------------------------------------------------------- stats
+
+    def statistics(self) -> Dict[str, float]:
+        """Service-level counters plus planner and per-backend statistics."""
+        stats: Dict[str, float] = {
+            "queries_executed": float(self.queries_executed),
+            "stability": float(self._stability),
+            "backends_instantiated": float(len(self._engines)),
+        }
+        for name, value in self.planner.statistics().items():
+            stats[f"planner_{name}"] = value
+        for name, engine in self._engines.items():
+            for key, value in engine.cache_info().items():
+                stats[f"{name}_{key}"] = float(value)
+        return stats
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Per-backend engine memo occupancy and hit/miss counts."""
+        return {name: engine.cache_info() for name, engine in self._engines.items()}
+
+    def __repr__(self) -> str:
+        pin = self._default_pin or "auto"
+        return (
+            f"<GraphService backend={pin!r} over {self.graph!r}, "
+            f"{self.store.resource_count()} resources>"
+        )

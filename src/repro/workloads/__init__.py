@@ -1,5 +1,7 @@
-"""Benchmark-harness support: workload generation, query mixes, scenarios, metrics."""
+"""Benchmark-harness support: workload generation, the service-driven replay
+driver, query mixes, scenarios, metrics."""
 
+from repro.workloads.driver import WorkloadReport, install_policies, run_workload
 from repro.workloads.generator import (
     GRAPH_FAMILIES,
     Workload,
@@ -17,6 +19,9 @@ from repro.workloads.queries import (
 from repro.workloads.scenarios import SCENARIOS, Scenario, scenario, scenario_names
 
 __all__ = [
+    "WorkloadReport",
+    "install_policies",
+    "run_workload",
     "GRAPH_FAMILIES",
     "Workload",
     "WorkloadSpec",

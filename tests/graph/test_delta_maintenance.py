@@ -224,7 +224,11 @@ def test_journal_overflow_falls_back_to_a_full_rebuild(seed):
     graph = random_base_graph(rng)
     graph.journal_limit = 8
     snapshot = compile_graph(graph)
-    apply_random_mutations(rng, graph, 20)  # > journal_limit: coverage is lost
+    apply_random_mutations(rng, graph, 20)
+    # Attribute writes compact, so the random burst alone no longer
+    # guarantees overflow: structural ops (one entry each, never merged) do.
+    for i in range(graph.journal_limit + 1):
+        graph.add_user(f"overflow{i}")
 
     assert graph.mutations_since(snapshot.epoch) is None
     rebuilt = compile_graph(graph)
@@ -248,15 +252,96 @@ class TestJournalContract:
         ]
         assert graph.mutations_since(graph.epoch) == []
 
-    def test_attribute_map_writes_are_journaled(self):
+    def test_attribute_map_writes_are_journaled_and_coalesced(self):
         graph = SocialGraph()
         graph.add_user("a", age=1)
         mark = graph.epoch
         attrs = graph.attributes("a")
         attrs["age"] = 2
         del attrs["age"]
+        # Repeated attribute writes to one user compact into a single
+        # invalidation marker (the op carries no payload, so one replay
+        # invalidates exactly as much as two would).
+        assert graph.mutations_since(mark) == [("update_user", "a")]
+        assert graph.epoch == mark + 2  # every write still bumps the epoch
+
+    def test_attribute_compaction_stretches_the_journal_limit(self):
+        graph = SocialGraph(journal_limit=4)
+        for user in ("a", "b"):
+            graph.add_user(user, age=0)
+        mark = graph.epoch
+        # 50 writes across two users: an uncompacted journal (limit 4) would
+        # have overflowed long ago; the compacting one holds two entries.
+        for round_ in range(25):
+            graph.update_user("a", age=round_)
+            graph.update_user("b", age=round_)
         assert graph.mutations_since(mark) == [
             ("update_user", "a"),
+            ("update_user", "b"),
+        ]
+        snapshot = compile_graph(graph)
+        graph.update_user("a", age=99)
+        assert compile_graph(graph) is snapshot  # still delta-patchable
+
+    def test_compaction_keeps_structural_ops_in_order(self):
+        graph = SocialGraph(journal_limit=8)
+        graph.add_user("a", age=0)
+        mark = graph.epoch
+        graph.update_user("a", age=1)
+        graph.add_user("b")
+        graph.add_relationship("a", "b", "friend")
+        graph.update_user("a", age=2)  # merges: marker floats to the young end
+        # Structural ops keep their relative commit order; the coalesced
+        # attribute marker commutes with them and rides at the young end
+        # (where overflow eviction cannot take coverage with it).
+        assert graph.mutations_since(mark) == [
+            ("add_user", "b"),
+            ("add_edge", "a", "b", "friend"),
+            ("update_user", "a"),
+        ]
+        # A span starting after the first write still sees the marker (its
+        # floated epoch proves at least one merged bump is inside the span).
+        assert graph.mutations_since(mark + 1) == [
+            ("add_user", "b"),
+            ("add_edge", "a", "b", "friend"),
+            ("update_user", "a"),
+        ]
+
+    def test_evicting_a_merged_marker_does_not_wipe_coverage(self):
+        """Overflow after a merge must pop the tombstoned old slot for free.
+
+        If the merge floated the entry's epoch *in place*, evicting that
+        (leftmost) slot would advance the floor past every retained entry
+        and collapse exactly the attribute-hot span compaction exists to
+        keep covered.
+        """
+        graph = SocialGraph(journal_limit=8)
+        graph.add_user("a", age=0)
+        graph.update_user("a", age=1)  # the entry that will merge later
+        for i in range(7):
+            graph.add_user(f"s{i}")  # structural ops fill the deque
+        mark = graph.epoch
+        snapshot = compile_graph(graph)
+        graph.update_user("a", age=2)  # merges: the old slot is tombstoned
+        graph.add_user("b")  # overflow: must evict dead weight, not coverage
+        assert graph.mutations_since(mark) == [
+            ("update_user", "a"),
+            ("add_user", "b"),
+        ]
+        assert compile_graph(graph) is snapshot  # still delta-patchable
+
+    def test_remove_and_readd_closes_the_merge_anchor(self):
+        graph = SocialGraph()
+        graph.add_user("a", age=0)
+        graph.update_user("a", age=1)
+        graph.remove_user("a")
+        mark_after_removal = graph.epoch
+        graph.add_user("a", age=2)
+        graph.update_user("a", age=3)
+        # The post-re-add write must appear *after* the add, not float the
+        # pre-removal marker into the span.
+        assert graph.mutations_since(mark_after_removal) == [
+            ("add_user", "a"),
             ("update_user", "a"),
         ]
 

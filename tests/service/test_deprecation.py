@@ -1,0 +1,105 @@
+"""The deprecation shims: old side-channel reads work, warn, and stay honest.
+
+PR 5 replaced the mutable ``last_sweep_plan`` / ``last_audience_plans``
+attributes with plans carried on results.  The attributes survive as
+properties so pre-PR 5 call sites keep running unchanged — but every read
+emits a :class:`DeprecationWarning` pointing at the replacement, and the
+new plan-returning APIs emit nothing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.policy.engine import AccessControlEngine
+from repro.policy.path_expression import PathExpression
+from repro.policy.rules import AccessRule
+from repro.policy.store import PolicyStore
+from repro.reachability.engine import ReachabilityEngine, create_evaluator
+
+
+def _reads_warn_once_per_site(read):
+    """Assert ``read()`` emits exactly one DeprecationWarning per call site."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        read()
+        read()
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 2  # simplefilter("always"): one per read...
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        read()
+        read()
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1  # ...default filter dedupes the site
+
+
+class TestEngineSideChannel:
+    def test_last_sweep_plan_still_works_and_warns(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs")
+        engine.find_targets_many(["Alice", "Bill"], "friend+[1]")
+        with pytest.deprecated_call():
+            plan = engine.last_sweep_plan
+        assert plan is not None and plan.owners == 2
+        # Memo-warm call: the attribute keeps its historical semantics
+        # (None when nothing was swept).
+        engine.find_targets_many(["Alice", "Bill"], "friend+[1]")
+        with pytest.deprecated_call():
+            assert engine.last_sweep_plan is None
+
+    def test_warns_once_per_call_site_under_the_default_filter(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs")
+        engine.find_targets_many(["Alice"], "friend+[1]")
+        _reads_warn_once_per_site(lambda: engine.last_sweep_plan)
+
+    def test_assignment_is_permitted_silently(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.last_sweep_plan = None  # legacy resets keep working
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_new_api_does_not_warn(self, figure1):
+        engine = ReachabilityEngine(figure1, "bfs")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            audiences, plan = engine.sweep_targets_many(["Alice"], "friend+[1]")
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert plan is not None and audiences
+
+
+class TestBackendSideChannels:
+    @pytest.mark.parametrize(
+        "backend", ["bfs", "dfs", "transitive-closure", "cluster-index"]
+    )
+    def test_every_backend_keeps_the_alias(self, backend, figure1):
+        evaluator = create_evaluator(backend, figure1)
+        evaluator.find_targets_many(["Alice"], PathExpression.parse("friend+[1]"))
+        with pytest.deprecated_call():
+            plan = evaluator.last_sweep_plan
+        assert plan is not None and plan.owners == 1
+
+
+class TestPolicySideChannel:
+    def _engine(self, figure1) -> AccessControlEngine:
+        store = PolicyStore()
+        store.share("Alice", "photos")
+        store.add_rule(AccessRule.build("photos", "Alice", "friend+[1,2]"))
+        return AccessControlEngine(figure1, store, backend="bfs")
+
+    def test_last_audience_plans_still_works_and_warns(self, figure1):
+        engine = self._engine(figure1)
+        engine.authorized_audiences(["photos"])
+        with pytest.deprecated_call():
+            plans = engine.last_audience_plans
+        assert set(plans) == {"friend+[1,2]"}
+
+    def test_new_api_does_not_warn(self, figure1):
+        engine = self._engine(figure1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            audiences, plans = engine.audiences_with_plans(["photos"])
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert set(plans) == {"friend+[1,2]"} and audiences

@@ -1,0 +1,72 @@
+"""The exported API surface is tested like code.
+
+``tools/check_api.py`` (also run by the CI ``docs`` job) must pass against
+the committed ``tools/api_surface.json`` snapshot, and its drift detection
+must actually catch accidental breakage.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_check_api():
+    spec = importlib.util.spec_from_file_location(
+        "check_api", REPO / "tools" / "check_api.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_surface_matches_the_code():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_api.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "surface matches" in result.stdout
+
+
+def test_snapshot_is_committed_and_meaningful():
+    snapshot = json.loads((REPO / "tools" / "api_surface.json").read_text("utf-8"))
+    assert "GraphService" in snapshot["all"]
+    assert "ReachQuery" in snapshot["all"]
+    assert "reach" in snapshot["graph_service_methods"]
+    assert "bulk_access" in snapshot["graph_service_methods"]
+    assert "ExecutionPlan" in snapshot["dataclasses"]
+
+
+def test_surface_drift_is_detected(tmp_path):
+    """A snapshot that disagrees with the code must fail the check."""
+    module = _load_check_api()
+    surface = module.build_surface()
+    surface["all"] = [name for name in surface["all"] if name != "GraphService"]
+    fake = tmp_path / "api_surface.json"
+    fake.write_text(module.render(surface), encoding="utf-8")
+    module.SNAPSHOT = fake
+    assert module.main([]) == 1
+
+
+def test_update_mode_rewrites_the_snapshot(tmp_path):
+    module = _load_check_api()
+    module.SNAPSHOT = tmp_path / "api_surface.json"
+    assert module.main(["--update"]) == 0
+    assert module.main([]) == 0  # freshly recorded: the check passes
+
+
+def test_signatures_omit_default_values():
+    """Defaults are recorded as booleans, not reprs (stable across versions)."""
+    module = _load_check_api()
+    surface = module.build_surface()
+    for rows in surface["graph_service_methods"].values():
+        for row in rows:
+            assert set(row) == {"name", "kind", "has_default"}
+            assert isinstance(row["has_default"], bool)
