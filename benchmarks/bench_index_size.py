@@ -6,7 +6,10 @@ reachable pair per label).  The 2-hop labeling is the paper's answer: its
 size is ``sum |Lin(v)| + |Lout(v)|``, typically far below the materialized
 closure.  This experiment reports both sizes, plus the breakdown of the
 cluster-index structures (base-table rows, centers, W-table entries), across
-graph sizes.
+graph sizes.  Since PERF-11 the compiled CSR snapshot accounts for its own
+buffer bytes (:attr:`CompiledGraph.nbytes` — the same number
+``GraphService.statistics()`` and ``SnapshotStore.stat()`` report), so the
+table carries the measured figure instead of recomputing an estimate.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from __future__ import annotations
 import pytest
 from conftest import record_table
 
+from repro.graph.compiled import compile_graph
 from repro.reachability.cluster_engine import ClusterIndexEvaluator
 from repro.reachability.transitive_closure import TransitiveClosureIndex
 from repro.workloads.metrics import MetricSeries
@@ -23,7 +27,7 @@ _SERIES = MetricSeries(
     [
         "users", "relationships",
         "closure_entries", "two_hop_entries", "ratio_closure_over_2hop",
-        "base_table_rows", "centers", "w_table_entries",
+        "base_table_rows", "centers", "w_table_entries", "csr_nbytes",
     ],
 )
 
@@ -52,6 +56,7 @@ def test_index_sizes(benchmark, index_scale_graphs, size):
         base_table_rows=int(stats["base_table_rows"]),
         centers=int(stats["centers"]),
         w_table_entries=int(stats["w_table_entries"]),
+        csr_nbytes=compile_graph(graph).nbytes,
     )
     assert closure_entries > 0 and two_hop_entries > 0
 

@@ -40,7 +40,13 @@ True
 True
 """
 
-from repro.graph import GraphBuilder, Relationship, SocialGraph, graph_from_edges
+from repro.graph import (
+    GraphBuilder,
+    Relationship,
+    SnapshotStore,
+    SocialGraph,
+    graph_from_edges,
+)
 from repro.policy import (
     AccessControlEngine,
     AccessCondition,
@@ -94,6 +100,7 @@ __all__ = [
     "Relationship",
     "GraphBuilder",
     "graph_from_edges",
+    "SnapshotStore",
     # policy
     "PathExpression",
     "Step",

@@ -1,5 +1,6 @@
-"""Bundled datasets: the paper's Figure-1 example graph and synthetic presets."""
+"""Bundled datasets: the Figure-1 example graph and real-graph fixtures."""
 
+from repro.datasets.real_graphs import KARATE_CLUB_PATH, karate_club
 from repro.datasets.paper_graph import (
     EDGES,
     LABELS,
@@ -14,6 +15,8 @@ from repro.datasets.paper_graph import (
 
 __all__ = [
     "paper_graph",
+    "karate_club",
+    "KARATE_CLUB_PATH",
     "USERS",
     "EDGES",
     "LABELS",

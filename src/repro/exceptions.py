@@ -61,6 +61,39 @@ class GraphFormatError(GraphError):
     """A serialized graph document could not be parsed."""
 
 
+class SnapshotFormatError(GraphFormatError):
+    """A persisted compiled-graph snapshot (or delta segment) is unreadable.
+
+    Raised for corrupt, truncated or version-mismatched snapshot files —
+    never a raw :class:`struct.error` and never silently wrong CSR rows.
+    Carries the offending ``path`` and the header/section ``field`` that
+    failed validation, so operators can tell a torn write from a format
+    bump.  Callers are expected to fall back to a clean recompile
+    (:meth:`SnapshotStore.load_or_compile` does exactly that).
+    """
+
+    def __init__(self, path, field: str, message: str):
+        super().__init__(f"{path}: bad snapshot field {field!r}: {message}")
+        self.path = path
+        self.field = field
+        self.reason = message
+
+
+class SnapshotStaleError(GraphError):
+    """A persisted snapshot is readable but cannot serve the live graph.
+
+    The snapshot's source epoch does not match the graph and the gap is not
+    covered by the mutation journal (or the structural cross-checks failed).
+    Loading refuses rather than serving silently stale data; callers fall
+    back to a recompile and rewrite the store.
+    """
+
+    def __init__(self, path, message: str):
+        super().__init__(f"{path}: stale snapshot: {message}")
+        self.path = path
+        self.reason = message
+
+
 # ---------------------------------------------------------------------------
 # Policy (access-control model) errors
 # ---------------------------------------------------------------------------

@@ -10,11 +10,15 @@ Public entry points:
 * :mod:`~repro.graph.statistics` — workload characterization.
 * :mod:`~repro.graph.compiled` — derived CSR snapshots the reachability
   engines traverse (rebuilt lazily from the canonical graph by epoch).
+* :mod:`~repro.graph.snapshot` — the persistent mmap snapshot format and
+  :class:`~repro.graph.snapshot.SnapshotStore` (base file + delta segments,
+  zero-copy multi-process serving).
 """
 
 from repro.graph.builder import GraphBuilder, graph_from_edges
 from repro.graph.compiled import CompiledGraph, LabelDegreeStats, compile_graph
 from repro.graph.paths import Path, Traversal, is_adjacent_chain, path_from_nodes
+from repro.graph.snapshot import SnapshotStore, load_snapshot, save_snapshot
 from repro.graph.social_graph import AttributeMap, Relationship, SocialGraph
 from repro.graph.views import GraphView, label_view, trust_view, user_filter_view
 
@@ -25,6 +29,9 @@ __all__ = [
     "CompiledGraph",
     "LabelDegreeStats",
     "compile_graph",
+    "SnapshotStore",
+    "save_snapshot",
+    "load_snapshot",
     "GraphBuilder",
     "graph_from_edges",
     "Path",

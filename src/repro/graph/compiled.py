@@ -140,9 +140,35 @@ def build_csr(pairs: Sequence[Tuple[int, int]], node_count: int) -> CSR:
     return offsets, targets
 
 
+#: Byte width of one CSR entry on this platform (``array('l')`` item size).
+_ITEMSIZE = array("l").itemsize
+
+
+def _copy_ints(values) -> array:
+    """Return a private ``array('l')`` copy of an array or int-memoryview.
+
+    Memory-mapped snapshots expose their CSR halves as read-only
+    ``memoryview`` casts; copy-on-write paths funnel through here so the
+    copy stays a C-level ``frombytes`` whenever the item widths line up.
+    """
+    if isinstance(values, memoryview) and values.itemsize == _ITEMSIZE:
+        fresh = array("l")
+        fresh.frombytes(values.tobytes())
+        return fresh
+    return array("l", values)
+
+
+def _extend_ints(destination: array, values) -> None:
+    """Append an array slice or int-memoryview slice to ``destination``."""
+    if isinstance(values, memoryview) and values.itemsize == _ITEMSIZE:
+        destination.frombytes(values.tobytes())
+    else:
+        destination.extend(values)
+
+
 def _stitch_csr(
-    offsets: array,
-    targets: array,
+    offsets,
+    targets,
     adds: Dict[int, List[int]],
     removes: Dict[int, "Set[int]"],
 ) -> CSR:
@@ -152,7 +178,9 @@ def _stitch_csr(
     per-element interpreter work is confined to the edited rows and to one
     offset-shift pass over the suffix starting at the first edited row.
     ``adds``/``removes`` must be pre-reconciled: every add is absent from
-    the base row, every remove present in it.
+    the base row, every remove present in it.  The base pair may be plain
+    arrays or a mapped snapshot's read-only memoryviews — the output is
+    always a pair of private arrays (this *is* the copy-on-write step).
     """
     affected = sorted(set(adds) | set(removes))
     new_targets = array("l")
@@ -160,8 +188,8 @@ def _stitch_csr(
     prev_end = 0
     for node in affected:
         start, end = offsets[node], offsets[node + 1]
-        new_targets += targets[prev_end:start]
-        row = targets[start:end]
+        _extend_ints(new_targets, targets[prev_end:start])
+        row = _copy_ints(targets[start:end])
         drop = removes.get(node)
         if drop:
             row = array("l", (x for x in row if x not in drop))
@@ -171,9 +199,9 @@ def _stitch_csr(
         new_targets += row
         row_delta.append(len(row) - (end - start))
         prev_end = end
-    new_targets += targets[prev_end:]
+    _extend_ints(new_targets, targets[prev_end:])
 
-    new_offsets = array("l", offsets)  # C-level copy; suffix rewritten below
+    new_offsets = _copy_ints(offsets)  # C-level copy; suffix rewritten below
     last = len(offsets) - 1
     shift = 0
     for position, node in enumerate(affected):
@@ -234,6 +262,9 @@ class CompiledGraph:
         "_stats_nodes",
         "_pinned",
         "delta_events",
+        "_mapped",
+        "_offsets_private",
+        "_backing",
     )
 
     def __init__(self, graph: SocialGraph) -> None:
@@ -294,6 +325,12 @@ class CompiledGraph:
         self._stats_dirty: Set[int] = set()
         self._stats_nodes = len(self.node_ids)
         self._pinned = False
+        # Persistence state: a freshly compiled snapshot owns private arrays;
+        # a memory-mapped one (from_mapping) flips these and carries the mmap
+        # objects keeping its buffers alive.
+        self._mapped = False
+        self._offsets_private = True
+        self._backing: Tuple[Any, ...] = ()
         #: Counters for benchmarks/tests: patches applied, ops absorbed,
         #: side-table compactions performed.
         self.delta_events: Dict[str, int] = {
@@ -302,6 +339,74 @@ class CompiledGraph:
             "label_compactions": 0,
             "merged_compactions": 0,
         }
+
+    @classmethod
+    def from_mapping(
+        cls,
+        *,
+        node_ids: Sequence[UserId],
+        attrs: Sequence[Mapping[str, Any]],
+        labels: Sequence[str],
+        forward: Sequence[CSR],
+        backward: Sequence[CSR],
+        forward_all: CSR,
+        backward_all: CSR,
+        epoch: int,
+        graph: Optional[SocialGraph] = None,
+        backing: Tuple[Any, ...] = (),
+    ) -> "CompiledGraph":
+        """Wrap already-built CSR buffers (typically mmap views) as a snapshot.
+
+        This is the zero-copy constructor behind
+        :class:`~repro.graph.snapshot.SnapshotStore`: the CSR halves are used
+        *as given* — memory-mapped ``memoryview`` casts index exactly like
+        ``array('l')`` in every traversal core — and ``backing`` keeps the
+        underlying ``mmap`` / file objects alive for the snapshot's lifetime.
+
+        The result is fully functional standalone (``graph=None``): attribute
+        conditions read the deserialized ``attrs`` dicts and witness
+        :class:`Relationship` objects are synthesized from the CSR (without
+        edge attributes).  Mutation paths copy-on-write: the first structural
+        patch privatizes the offset arrays it must extend, and compactions
+        always emit private arrays, so a mapped region itself is never
+        written through.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot.graph = graph
+        snapshot.epoch = epoch
+        snapshot.node_ids = list(node_ids)
+        snapshot.node_index = {
+            user: index for index, user in enumerate(snapshot.node_ids)
+        }
+        snapshot.labels = tuple(labels)
+        snapshot.label_index = {
+            label: index for index, label in enumerate(snapshot.labels)
+        }
+        # Accept any list-like attribute table as-is: the loader hands over a
+        # lazily-parsed view so warm starts never pay the JSON decode, and a
+        # plain list is simply donated.
+        snapshot.attrs = attrs if callable(getattr(attrs, "append", None)) else list(attrs)
+        snapshot._forward = list(forward)
+        snapshot._backward = list(backward)
+        snapshot._forward_all = forward_all
+        snapshot._backward_all = backward_all
+        snapshot.derived = {}
+        snapshot._pending = {}
+        snapshot._merged_pending = []
+        snapshot._merged_dirty = False
+        snapshot._stats_dirty = set()
+        snapshot._stats_nodes = len(snapshot.node_ids)
+        snapshot._pinned = False
+        snapshot._mapped = True
+        snapshot._offsets_private = False
+        snapshot._backing = tuple(backing)
+        snapshot.delta_events = {
+            "applies": 0,
+            "ops": 0,
+            "label_compactions": 0,
+            "merged_compactions": 0,
+        }
+        return snapshot
 
     # -------------------------------------------------------------- identity
 
@@ -313,6 +418,37 @@ class CompiledGraph:
     def pinned(self) -> bool:
         """Whether :meth:`pin` excluded this snapshot from in-place patching."""
         return self._pinned
+
+    @property
+    def mapped(self) -> bool:
+        """Whether this snapshot was loaded zero-copy from a memory mapping."""
+        return self._mapped
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the CSR adjacency buffers (mapped or private).
+
+        Counts every per-label and merged offsets/targets buffer plus the
+        queued overflow side-tables; interned id maps and attribute dicts are
+        Python objects and excluded.  This is the number the index-size
+        accounting (``GraphService.statistics`` /
+        ``SnapshotStore.stat``) reports.
+        """
+
+        def _buffer_bytes(buffer) -> int:
+            if isinstance(buffer, memoryview):
+                return buffer.nbytes
+            return len(buffer) * buffer.itemsize
+
+        total = 0
+        for csr_list in (self._forward, self._backward):
+            for offsets, targets in csr_list:
+                total += _buffer_bytes(offsets) + _buffer_bytes(targets)
+        for offsets, targets in (self._forward_all, self._backward_all):
+            total += _buffer_bytes(offsets) + _buffer_bytes(targets)
+        pending_ops = sum(len(ops) for ops in self._pending.values())
+        total += (pending_ops * 3 + len(self._merged_pending) * 2) * _ITEMSIZE
+        return total
 
     def pin(self) -> "CompiledGraph":
         """Freeze this snapshot's structure for its remaining lifetime.
@@ -472,7 +608,9 @@ class CompiledGraph:
 
     # ------------------------------------------------------ delta maintenance
 
-    def apply_deltas(self, deltas: Sequence[Tuple[Any, ...]]) -> bool:
+    def apply_deltas(
+        self, deltas: Sequence[Tuple[Any, ...]], *, epoch: Optional[int] = None
+    ) -> bool:
         """Patch this snapshot in place with a journal-covered mutation burst.
 
         ``deltas`` is what :meth:`SocialGraph.mutations_since` returned for
@@ -484,6 +622,14 @@ class CompiledGraph:
         back to a full rebuild and discard this object.  A failed patch may
         leave the snapshot between epochs, but ``is_stale()`` then stays
         true, so no consumer that checks freshness can observe it.
+
+        Ops may carry an attribute payload (``("add_user", u, attrs)`` /
+        ``("update_user", u, attrs)``) — the persisted-delta form replayed
+        by :class:`~repro.graph.snapshot.SnapshotStore` onto snapshots with
+        no live graph attached; live-journal ops omit it because attribute
+        dicts are shared with the graph.  ``epoch`` pins the post-patch
+        epoch for persisted replays; by default the patch advances to the
+        attached graph's live epoch.
 
         Cost: O(|delta|) bookkeeping per call.  Edge ops are queued into
         per-label overflow side-tables; the CSR fold-in (compaction) is
@@ -500,10 +646,14 @@ class CompiledGraph:
             for op in deltas:
                 kind = op[0]
                 if kind == "update_user":
-                    continue  # attribute dicts are shared: nothing to patch
+                    if len(op) > 2 and self.graph is None:
+                        # Persisted replay without a live graph: install the
+                        # payload (the attrs at checkpoint time) directly.
+                        self.attrs[self.node_index[op[1]]] = dict(op[2])
+                    continue  # attached: attribute dicts are shared
                 structural = True
                 if kind == "add_user":
-                    self._patch_add_user(op[1])
+                    self._patch_add_user(op[1], op[2] if len(op) > 2 else None)
                 elif kind == "add_edge":
                     self._patch_edge(_ADD, op[1], op[2], op[3])
                 elif kind == "remove_edge":
@@ -513,19 +663,57 @@ class CompiledGraph:
         except (KeyError, IndexError):
             return False
         self._sweep_derived(structural)
-        self.epoch = getattr(self.graph, "epoch", self.epoch)
+        if epoch is not None:
+            self.epoch = epoch
+        else:
+            self.epoch = getattr(self.graph, "epoch", self.epoch)
         self.delta_events["applies"] += 1
         self.delta_events["ops"] += len(deltas)
         return True
 
-    def _patch_add_user(self, user: UserId) -> None:
-        """Intern one added user: extend the id maps and every offset array."""
+    def _privatize_offsets(self) -> None:
+        """Copy-on-write: replace mapped offset views with private arrays.
+
+        ``_patch_add_user`` appends one slot to every offsets array; a mapped
+        snapshot's offsets are read-only memoryviews, so the first such patch
+        converts them all (one C-level copy each, O(|V|) per array).  Targets
+        stay mapped: nothing mutates them in place — compactions emit fresh
+        private arrays per label as they go.
+        """
+        for csr_list in (self._forward, self._backward):
+            for label_id, (offsets, targets) in enumerate(csr_list):
+                if not isinstance(offsets, array):
+                    csr_list[label_id] = (_copy_ints(offsets), targets)
+        if not isinstance(self._forward_all[0], array):
+            self._forward_all = (_copy_ints(self._forward_all[0]), self._forward_all[1])
+        if not isinstance(self._backward_all[0], array):
+            self._backward_all = (
+                _copy_ints(self._backward_all[0]),
+                self._backward_all[1],
+            )
+        self._offsets_private = True
+
+    def _patch_add_user(
+        self, user: UserId, attrs: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        """Intern one added user: extend the id maps and every offset array.
+
+        ``attrs`` is the persisted-delta payload; without it the live
+        graph's (shared) attribute dict is linked, exactly like at build.
+        """
         if user in self.node_index:
             raise KeyError(user)  # journal out of sync with the snapshot
+        if not self._offsets_private:
+            self._privatize_offsets()
         index = len(self.node_ids)
         self.node_ids.append(user)
         self.node_index[user] = index
-        self.attrs.append(self.graph._nodes[user])
+        if attrs is not None:
+            self.attrs.append(dict(attrs))
+        elif self.graph is not None:
+            self.attrs.append(self.graph._nodes[user])
+        else:
+            raise KeyError(user)  # standalone snapshot needs the payload
         for csr_list in (self._forward, self._backward):
             for offsets, _targets in csr_list:
                 offsets.append(offsets[-1])
@@ -713,8 +901,14 @@ class CompiledGraph:
         """Return the canonical :class:`Relationship` behind one CSR edge.
 
         Witness paths are reconstructed on demand through this lookup, so the
-        search cores never touch per-edge objects.
+        search cores never touch per-edge objects.  Standalone (mapped)
+        snapshots have no canonical graph to consult and synthesize a bare
+        edge tuple instead.
         """
+        if self.graph is None:
+            return Relationship(
+                self.node_ids[source], self.node_ids[target], self.labels[label_id]
+            )
         return self.graph.get_relationship(
             self.node_ids[source], self.node_ids[target], self.labels[label_id]
         )

@@ -6,7 +6,10 @@ Two formats are supported:
   round-trips every node and edge attribute, used by the examples and the
   benchmark harness to cache generated workloads, and
 * a simple whitespace-separated edge-list text format
-  (``source target label``) for interoperability with graph tools.
+  (``source target label``) for interoperability with graph tools, plus a
+  SNAP-style loader (:func:`load_edge_list`) for the two-column
+  ``FromNodeId ToNodeId`` files real-graph archives distribute — the label
+  the access-control model needs is supplied by the caller.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ __all__ = [
     "load_json",
     "to_edge_list",
     "from_edge_list",
+    "load_edge_list",
 ]
 
 PathLike = Union[str, Path]
@@ -112,4 +116,51 @@ def from_edge_list(source: Union[str, Iterable[str], IO[str]], *, name: str = ""
         graph.ensure_user(dst)
         if not graph.has_relationship(src, dst, label):
             graph.add_relationship(src, dst, label)
+    return graph
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    label: str = "friend",
+    name: str = "",
+    directed: bool = True,
+) -> SocialGraph:
+    """Load a SNAP-style edge list from ``path`` into a labelled graph.
+
+    The format is what real-graph archives (SNAP, KONECT) distribute: one
+    ``FromNodeId ToNodeId`` pair per line, whitespace-separated, with ``#``
+    comment lines and blank lines ignored.  Those files carry no labels, so
+    every edge gets ``label``; three-column lines (our own
+    :func:`to_edge_list` output) keep their explicit third-column label
+    instead.  ``directed=False`` adds the reciprocal of every edge — SNAP
+    publishes many social networks as undirected pair lists.  Duplicate
+    pairs and self-loops are kept graph-legal (deduplicated per label).
+
+    Anything else — one column, four columns — raises
+    :class:`GraphFormatError` naming the offending line.
+    """
+    path = Path(path)
+    graph = SocialGraph(name=name or path.stem)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                src, dst, edge_label = parts[0], parts[1], label
+            elif len(parts) == 3:
+                src, dst, edge_label = parts
+            else:
+                raise GraphFormatError(
+                    f"{path}: line {line_number}: expected 'source target' "
+                    f"or 'source target label', got {line!r}"
+                )
+            graph.ensure_user(src)
+            graph.ensure_user(dst)
+            if not graph.has_relationship(src, dst, edge_label):
+                graph.add_relationship(src, dst, edge_label)
+            if not directed and not graph.has_relationship(dst, src, edge_label):
+                graph.add_relationship(dst, src, edge_label)
     return graph

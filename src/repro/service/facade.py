@@ -29,7 +29,8 @@ import time
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import UnknownBackendError
-from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.compiled import _SNAPSHOT_ATTR, CompiledGraph, compile_graph
+from repro.graph.snapshot import SnapshotStore
 from repro.graph.social_graph import SocialGraph
 from repro.policy.audit import AuditLog
 from repro.policy.decisions import Effect
@@ -81,6 +82,14 @@ class GraphService:
     backend_options:
         Optional per-backend constructor kwargs, e.g.
         ``{"cluster-index": {"expansion_limit": 64}}``.
+    snapshot_path:
+        Path stem of a persistent :class:`~repro.graph.snapshot.
+        SnapshotStore` (``None`` disables persistence).  When given, the
+        service **warm-starts**: it adopts the persisted mmap snapshot
+        zero-copy instead of paying the O(|V|+|E|) compile — falling back
+        to a clean recompile (that rewrites the store) on absent, stale or
+        corrupt files — and :meth:`refresh` checkpoints the compiled state
+        back to disk (delta segment or rebase).
     """
 
     def __init__(
@@ -95,8 +104,20 @@ class GraphService:
         audit_log: Optional[AuditLog] = None,
         planner: Optional[QueryPlanner] = None,
         backend_options: Optional[Dict[str, Dict[str, object]]] = None,
+        snapshot_path: Optional[object] = None,
     ) -> None:
         self.graph = graph
+        self.snapshot_store: Optional[SnapshotStore] = None
+        #: How the compiled snapshot came to be at construction: "mapped"
+        #: (persisted state adopted zero-copy), "absent"/"stale"/"corrupt"
+        #: (recompiled, store rewritten), or "cold" (no store configured).
+        self.warm_start = "cold"
+        #: Outcome of the last refresh() checkpoint ("base"/"current"/
+        #: "delta"/"rebase"), or None before the first refresh.
+        self.last_checkpoint: Optional[str] = None
+        if snapshot_path is not None:
+            self.snapshot_store = SnapshotStore(snapshot_path)
+            _snapshot, self.warm_start = self.snapshot_store.load_or_compile(graph)
         self.store = store if store is not None else PolicyStore()
         self.default_effect = default_effect
         self.audit_log = audit_log
@@ -201,8 +222,14 @@ class GraphService:
 
         Query paths refresh lazily; this explicit form lets serving code pay
         the refresh at a chosen moment (e.g. right after a churn burst).
+        With a :attr:`snapshot_store` configured, the refreshed state is
+        also checkpointed to disk — a delta segment when the journal covers
+        the gap since the persisted tip, a base rewrite otherwise.
         """
-        return compile_graph(self.graph)
+        snapshot = compile_graph(self.graph)
+        if self.snapshot_store is not None:
+            self.last_checkpoint = self.snapshot_store.checkpoint(self.graph)
+        return snapshot
 
     def _tick(self) -> int:
         """Advance the stability counter; returns the current epoch."""
@@ -464,6 +491,18 @@ class GraphService:
             "stability": float(self._stability),
             "backends_instantiated": float(len(self._engines)),
         }
+        # Index-size accounting (satellite of PERF-11): the cached compiled
+        # snapshot's CSR bytes and whether it is a zero-copy mapping, plus
+        # the persistent store's disk footprint.  Reads the cache only — a
+        # statistics call must never trigger a compile.
+        snapshot = getattr(self.graph, _SNAPSHOT_ATTR, None)
+        if snapshot is not None:
+            stats["snapshot_nbytes"] = float(snapshot.nbytes)
+            stats["snapshot_mapped"] = float(snapshot.mapped)
+        if self.snapshot_store is not None:
+            disk = self.snapshot_store.stat()
+            stats["snapshot_disk_bytes"] = float(disk["disk_bytes"])
+            stats["snapshot_delta_segments"] = float(disk["delta_segments"])
         for name, value in self.planner.statistics().items():
             stats[f"planner_{name}"] = value
         for name, engine in self._engines.items():

@@ -8,6 +8,7 @@ from repro.exceptions import GraphFormatError
 from repro.graph.io import (
     from_edge_list,
     from_json,
+    load_edge_list,
     load_json,
     save_json,
     to_edge_list,
@@ -83,3 +84,55 @@ class TestEdgeList:
     def test_accepts_iterable_of_lines(self):
         graph = from_edge_list(["a b friend", "b c friend"])
         assert graph.number_of_relationships() == 2
+
+
+class TestLoadEdgeList:
+    """The SNAP-style two-column loader (labels supplied by the caller)."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "edges.txt"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_two_column_pairs_get_the_supplied_label(self, tmp_path):
+        path = self._write(tmp_path, "# SNAP header\n1 2\n2 3\n")
+        graph = load_edge_list(path, label="colleague")
+        assert graph.number_of_users() == 3
+        assert graph.has_relationship("1", "2", "colleague")
+        assert not graph.has_relationship("2", "1", "colleague")
+
+    def test_undirected_mode_adds_both_directions(self, tmp_path):
+        path = self._write(tmp_path, "1 2\n")
+        graph = load_edge_list(path, directed=False)
+        assert graph.has_relationship("1", "2", "friend")
+        assert graph.has_relationship("2", "1", "friend")
+
+    def test_three_column_lines_keep_their_label(self, tmp_path):
+        path = self._write(tmp_path, "1 2\n2 3 parent\n")
+        graph = load_edge_list(path, label="friend")
+        assert graph.has_relationship("1", "2", "friend")
+        assert graph.has_relationship("2", "3", "parent")
+
+    def test_bad_column_count_raises_with_line_number(self, tmp_path):
+        path = self._write(tmp_path, "1 2\n1 2 3 4\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_edge_list(path)
+        assert "line 2" in str(excinfo.value)
+
+    def test_comments_blanks_and_duplicates(self, tmp_path):
+        path = self._write(tmp_path, "# c\n% konect-style\n\n1 2\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_relationships() == 1
+
+    def test_default_name_is_the_file_stem(self, tmp_path):
+        path = self._write(tmp_path, "1 2\n")
+        assert load_edge_list(path).name == "edges"
+
+    def test_bundled_karate_club_fixture(self):
+        from repro.datasets import KARATE_CLUB_PATH, karate_club
+
+        graph = load_edge_list(KARATE_CLUB_PATH, directed=False)
+        assert graph.number_of_users() == 34
+        assert graph.number_of_relationships() == 156  # 78 undirected pairs
+        assert karate_club().number_of_relationships() == 156
+        assert karate_club(directed=True).number_of_relationships() == 78
