@@ -46,9 +46,15 @@ O(|delta|):
   side-table crosses a size threshold.  Compacting label ``l`` costs
   O(|E_l| + |side-table|), so a churn burst touching few labels never pays
   for the whole graph, and untouched labels keep their arrays byte-for-byte;
-* **user removals** (and journal overflow, foreign epochs, or any
-  inconsistency) abort the patch — :func:`compile_graph` falls back to the
-  full rebuild, which remains the semantics-defining reference path.
+* **user removals** tombstone the slot: the dense index is kept but marked
+  dead — every sweep skips it, ``degree_statistics`` divides by the live
+  count, and the next ``add_user`` reuses the slot for the new user.  The
+  removed user's incident edges arrive as *preceding* ``remove_edge`` ops
+  (``SocialGraph.remove_user`` journals them first), so the tombstone
+  itself is O(1) bookkeeping;
+* **journal overflow**, foreign epochs, or any other inconsistency abort
+  the patch — :func:`compile_graph` falls back to the full rebuild, which
+  remains the semantics-defining reference path.
 
 Entries in :attr:`CompiledGraph.derived` declare how deltas affect them via
 :func:`register_derived_policy`: ``"structural"`` entries (the interned line
@@ -83,6 +89,11 @@ __all__ = [
 CSR = Tuple[array, array]
 
 _SNAPSHOT_ATTR = "_compiled_snapshot"
+
+#: Sentinel parked in :attr:`CompiledGraph.node_ids` at tombstoned slots.
+#: Never a valid user id, unhashable lookups can't alias it, and any code
+#: that leaks it into output fails loudly instead of resurrecting the user.
+_TOMBSTONE = object()
 
 #: Side-table ops queued by :meth:`CompiledGraph.apply_deltas`:
 #: ``(+1, source, target)`` adds the pair, ``(-1, source, target)`` removes it.
@@ -260,6 +271,8 @@ class CompiledGraph:
         "_merged_dirty",
         "_stats_dirty",
         "_stats_nodes",
+        "_free_slots",
+        "_dead",
         "_pinned",
         "delta_events",
         "_mapped",
@@ -324,6 +337,11 @@ class CompiledGraph:
         self._merged_dirty = False
         self._stats_dirty: Set[int] = set()
         self._stats_nodes = len(self.node_ids)
+        # Tombstone state: slots freed by remove_user deltas, reusable (LIFO)
+        # by the next add_user patch.  ``_dead`` is the membership view the
+        # sweep cores consult through :attr:`dead_slots`.
+        self._free_slots: List[int] = []
+        self._dead: Set[int] = set()
         self._pinned = False
         # Persistence state: a freshly compiled snapshot owns private arrays;
         # a memory-mapped one (from_mapping) flips these and carries the mmap
@@ -332,12 +350,14 @@ class CompiledGraph:
         self._offsets_private = True
         self._backing: Tuple[Any, ...] = ()
         #: Counters for benchmarks/tests: patches applied, ops absorbed,
-        #: side-table compactions performed.
+        #: side-table compactions performed, slots tombstoned and reused.
         self.delta_events: Dict[str, int] = {
             "applies": 0,
             "ops": 0,
             "label_compactions": 0,
             "merged_compactions": 0,
+            "tombstones": 0,
+            "slot_reuses": 0,
         }
 
     @classmethod
@@ -396,6 +416,8 @@ class CompiledGraph:
         snapshot._merged_dirty = False
         snapshot._stats_dirty = set()
         snapshot._stats_nodes = len(snapshot.node_ids)
+        snapshot._free_slots = []
+        snapshot._dead = set()
         snapshot._pinned = False
         snapshot._mapped = True
         snapshot._offsets_private = False
@@ -405,6 +427,8 @@ class CompiledGraph:
             "ops": 0,
             "label_compactions": 0,
             "merged_compactions": 0,
+            "tombstones": 0,
+            "slot_reuses": 0,
         }
         return snapshot
 
@@ -465,8 +489,28 @@ class CompiledGraph:
         return self
 
     def number_of_nodes(self) -> int:
-        """Return ``|V|`` at snapshot time."""
+        """Return the number of dense slots (live *and* tombstoned).
+
+        This is the size every per-node array is indexed by — sweep cores
+        allocate over it.  For the number of users the snapshot actually
+        represents, see :meth:`number_of_live_nodes`.
+        """
         return len(self.node_ids)
+
+    def number_of_live_nodes(self) -> int:
+        """Return ``|V|`` excluding tombstoned slots — the live user count."""
+        return len(self.node_ids) - len(self._dead)
+
+    @property
+    def dead_slots(self) -> frozenset:
+        """Dense indices tombstoned by ``remove_user`` deltas (usually empty).
+
+        Sweep cores skip these slots when seeding; they carry no edges (the
+        canonical graph removes incident relationships before the user, so
+        the preceding ``remove_edge`` deltas empty the rows) and their
+        attribute entries are ``None``.
+        """
+        return frozenset(self._dead)
 
     def number_of_labels(self) -> int:
         """Return the size of the interned label alphabet."""
@@ -576,7 +620,7 @@ class CompiledGraph:
         cached: Optional[Tuple[LabelDegreeStats, ...]] = self.derived.get(
             "degree_statistics"
         )
-        node_count = max(1, len(self.node_ids))
+        node_count = max(1, self.number_of_live_nodes())
         if (
             cached is not None
             and not self._stats_dirty
@@ -617,11 +661,17 @@ class CompiledGraph:
         the span between this snapshot's epoch and the live one, oldest
         first.  Returns ``True`` when the patch succeeded (the snapshot's
         epoch now matches the graph's); ``False`` when the burst cannot be
-        absorbed — a user removal, an operation referencing unknown state,
-        or any internal inconsistency — in which case the caller must fall
-        back to a full rebuild and discard this object.  A failed patch may
-        leave the snapshot between epochs, but ``is_stale()`` then stays
-        true, so no consumer that checks freshness can observe it.
+        absorbed — an operation referencing unknown state, or any internal
+        inconsistency — in which case the caller must fall back to a full
+        rebuild and discard this object.  A failed patch may leave the
+        snapshot between epochs, but ``is_stale()`` then stays true, so no
+        consumer that checks freshness can observe it.
+
+        ``remove_user`` ops **tombstone** the slot instead of aborting: the
+        dense index is marked dead (see :attr:`dead_slots`), its incident
+        edges having already arrived as the preceding ``remove_edge`` ops,
+        and the next ``add_user`` reuses the slot.  Remove-heavy churn
+        therefore patches in O(|delta|) like everything else.
 
         Ops may carry an attribute payload (``("add_user", u, attrs)`` /
         ``("update_user", u, attrs)``) — the persisted-delta form replayed
@@ -638,9 +688,6 @@ class CompiledGraph:
         """
         if self._pinned:
             return False
-        for op in deltas:
-            if op[0] == "remove_user":
-                return False
         try:
             structural = False
             for op in deltas:
@@ -654,6 +701,8 @@ class CompiledGraph:
                 structural = True
                 if kind == "add_user":
                     self._patch_add_user(op[1], op[2] if len(op) > 2 else None)
+                elif kind == "remove_user":
+                    self._patch_remove_user(op[1])
                 elif kind == "add_edge":
                     self._patch_edge(_ADD, op[1], op[2], op[3])
                 elif kind == "remove_edge":
@@ -700,25 +749,67 @@ class CompiledGraph:
 
         ``attrs`` is the persisted-delta payload; without it the live
         graph's (shared) attribute dict is linked, exactly like at build.
+        A tombstoned slot is reused (LIFO) before the arrays grow: its CSR
+        rows are already logically empty, so rebinding the id maps and the
+        attribute entry is the whole patch.
         """
         if user in self.node_index:
             raise KeyError(user)  # journal out of sync with the snapshot
+        if self._free_slots:
+            index = self._free_slots.pop()
+            self._dead.discard(index)
+            self.node_ids[index] = user
+            self.node_index[user] = index
+            self.attrs[index] = self._added_attrs(user, attrs)
+            self.delta_events["slot_reuses"] += 1
+            return
         if not self._offsets_private:
             self._privatize_offsets()
         index = len(self.node_ids)
         self.node_ids.append(user)
         self.node_index[user] = index
-        if attrs is not None:
-            self.attrs.append(dict(attrs))
-        elif self.graph is not None:
-            self.attrs.append(self.graph._nodes[user])
-        else:
-            raise KeyError(user)  # standalone snapshot needs the payload
+        self.attrs.append(self._added_attrs(user, attrs))
         for csr_list in (self._forward, self._backward):
             for offsets, _targets in csr_list:
                 offsets.append(offsets[-1])
         self._forward_all[0].append(self._forward_all[0][-1])
         self._backward_all[0].append(self._backward_all[0][-1])
+
+    def _added_attrs(
+        self, user: UserId, attrs: Optional[Mapping[str, Any]]
+    ) -> Mapping[str, Any]:
+        """Resolve the attribute entry for one ``add_user`` patch.
+
+        Preference order: the persisted payload, then the live graph's
+        shared dict.  A user the live graph no longer knows is removed again
+        *later in the same burst* (the dict is already gone) — a placeholder
+        suffices, since the trailing ``remove_user`` tombstones the slot
+        before any query can read it.
+        """
+        if attrs is not None:
+            return dict(attrs)
+        if self.graph is None:
+            raise KeyError(user)  # standalone snapshot needs the payload
+        entry = self.graph._nodes.get(user)
+        return {} if entry is None else entry
+
+    def _patch_remove_user(self, user: UserId) -> None:
+        """Tombstone one removed user's dense slot.
+
+        The canonical graph removes every incident relationship *before*
+        recording ``remove_user`` (and the journal preserves order), so by
+        the time this op is patched the slot's CSR rows are emptied by the
+        preceding ``remove_edge`` ops — queued in the side-tables, folded at
+        the next compaction.  The tombstone itself is O(1): the id maps
+        forget the user, the slot is marked dead (sweeps skip it through
+        :attr:`dead_slots`) and parked for reuse by the next ``add_user``.
+        """
+        index = self.node_index.pop(user)  # KeyError aborts the patch
+        self.node_ids[index] = _TOMBSTONE
+        self.attrs[index] = None  # accidental reads fail loudly
+        self._dead.add(index)
+        self._free_slots.append(index)
+        self.delta_events["tombstones"] += 1
 
     def _patch_edge(self, op: int, source: UserId, target: UserId, label: str) -> None:
         """Queue one edge mutation into its label's overflow side-table."""
@@ -895,6 +986,69 @@ class CompiledGraph:
                 continue
             del self.derived[key]
 
+    def compacted(self) -> "CompiledGraph":
+        """Return an equivalent snapshot with every tombstoned slot squeezed out.
+
+        Returns ``self`` when all slots are live (the common case — no work,
+        no copy).  Otherwise pending side-tables are folded, live slots are
+        renumbered densely (insertion order preserved) and every CSR pair is
+        rebuilt over the live index space.  The persistence layer serializes
+        through this, so the on-disk format never carries a tombstone and
+        stays byte-compatible with pre-tombstone readers.
+        """
+        if not self._dead:
+            return self
+        for label_id in range(len(self.labels)):
+            self.forward(label_id)  # fold pending: CSRs become authoritative
+        self.forward(None)
+        remap: Dict[int, int] = {}
+        node_ids: List[UserId] = []
+        attrs: List[Mapping[str, Any]] = []
+        for index, user in enumerate(self.node_ids):
+            if index in self._dead:
+                continue
+            remap[index] = len(node_ids)
+            node_ids.append(user)
+            attrs.append(self.attrs[index])
+        count = len(node_ids)
+
+        def _rebuild(offsets, targets) -> CSR:
+            pairs: List[Tuple[int, int]] = []
+            for source in range(len(offsets) - 1):
+                mapped = remap.get(source)
+                if mapped is None:
+                    continue  # dead slot: row is empty post-fold anyway
+                for cursor in range(offsets[source], offsets[source + 1]):
+                    pairs.append((mapped, remap[targets[cursor]]))
+            return build_csr(pairs, count)
+
+        clone = CompiledGraph.__new__(CompiledGraph)
+        clone.graph = self.graph
+        clone.epoch = self.epoch
+        clone.node_ids = node_ids
+        clone.node_index = {user: index for index, user in enumerate(node_ids)}
+        clone.labels = self.labels
+        clone.label_index = dict(self.label_index)
+        clone.attrs = attrs
+        clone._forward = [_rebuild(*csr) for csr in self._forward]
+        clone._backward = [_rebuild(*csr) for csr in self._backward]
+        clone._forward_all = _rebuild(*self._forward_all)
+        clone._backward_all = _rebuild(*self._backward_all)
+        clone.derived = {}
+        clone._pending = {}
+        clone._merged_pending = []
+        clone._merged_dirty = False
+        clone._stats_dirty = set()
+        clone._stats_nodes = count
+        clone._free_slots = []
+        clone._dead = set()
+        clone._pinned = False
+        clone._mapped = False
+        clone._offsets_private = True
+        clone._backing = ()
+        clone.delta_events = dict(self.delta_events)
+        return clone
+
     # --------------------------------------------------------------- witness
 
     def relationship(self, source: int, target: int, label_id: int) -> Relationship:
@@ -914,9 +1068,10 @@ class CompiledGraph:
         )
 
     def __repr__(self) -> str:
+        dead = f", {len(self._dead)} dead slots" if self._dead else ""
         return (
-            f"<CompiledGraph epoch={self.epoch}: {self.number_of_nodes()} nodes, "
-            f"{self.number_of_edges()} node pairs, {len(self.labels)} labels>"
+            f"<CompiledGraph epoch={self.epoch}: {self.number_of_live_nodes()} nodes, "
+            f"{self.number_of_edges()} node pairs, {len(self.labels)} labels{dead}>"
         )
 
 
@@ -928,9 +1083,9 @@ def compile_graph(graph: SocialGraph) -> CompiledGraph:
     When the epoch has moved, the graph's mutation journal is consulted
     first: a journal-covered gap is absorbed by
     :meth:`CompiledGraph.apply_deltas` in O(|delta|) — same object, patched
-    in place — and only journal overflow, user removals or a
-    :meth:`pinned <CompiledGraph.pin>` snapshot fall back to the full
-    O(|V| + |E|) rebuild (a fresh object, as before).
+    in place, with user removals tombstoning their slots — and only journal
+    overflow or a :meth:`pinned <CompiledGraph.pin>` snapshot fall back to
+    the full O(|V| + |E|) rebuild (a fresh object, as before).
     """
     snapshot: Optional[CompiledGraph] = getattr(graph, _SNAPSHOT_ATTR, None)
     if snapshot is not None:

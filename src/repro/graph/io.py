@@ -142,9 +142,12 @@ def load_edge_list(
     """
     path = Path(path)
     graph = SocialGraph(name=name or path.stem)
-    with open(path, "r", encoding="utf-8") as handle:
+    # utf-8-sig strips a leading byte-order mark, which would otherwise hide
+    # the first line's "#"/"%" comment marker; universal newlines plus
+    # strip() absorb CRLF endings (KONECT archives ship both routinely).
+    with open(path, "r", encoding="utf-8-sig") as handle:
         for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
+            line = raw.strip().lstrip("\ufeff")
             if not line or line.startswith(("#", "%")):
                 continue
             parts = line.split()

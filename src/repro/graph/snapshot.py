@@ -198,13 +198,16 @@ def save_snapshot(snapshot: CompiledGraph, path) -> int:
     """Serialize ``snapshot`` to ``path`` atomically; return the bytes written.
 
     Pending overflow side-tables are folded in first (the on-disk CSR is
-    always fully compacted), so a later :func:`load_snapshot` needs no
-    side-table state.  User ids and attribute values must be
+    always fully compacted), and tombstoned slots are squeezed out through
+    :meth:`CompiledGraph.compacted` — the on-disk format never carries a
+    dead slot, so a later :func:`load_snapshot` needs neither side-table
+    nor tombstone state.  User ids and attribute values must be
     JSON-representable (strings, numbers, booleans, ``None`` and
     lists/dicts thereof) — the substrate's documented serialization domain.
     """
     path = Path(path)
     _require_little_endian(path)
+    snapshot = snapshot.compacted()
 
     sections: List[Tuple[str, bytes]] = []
     label_edge_counts: List[int] = []
@@ -455,13 +458,27 @@ def _adopt(path: Path, snapshot: CompiledGraph, graph: SocialGraph) -> None:
     payload in the live journal) land on shared dicts exactly like a fresh
     compile.
     """
-    try:
-        live_attrs = [graph._nodes[user] for user in snapshot.node_ids]
-    except KeyError as error:
-        raise SnapshotStaleError(
-            path, f"snapshot user {error.args[0]!r} is not in the live graph"
-        )
+    # Delta replay may have tombstoned slots (remove_user segments): those
+    # hold no user and rebind to ``None``.  A snapshot user missing from the
+    # live graph also rebinds to ``None`` for now — either the journal gap
+    # replayed below removes it (tombstoning the slot), or the structural
+    # checks after the replay raise :class:`SnapshotStaleError`.
+    dead = snapshot.dead_slots
+    missing = 0
+    live_attrs: List[Any] = []
+    for index, user in enumerate(snapshot.node_ids):
+        if index in dead:
+            live_attrs.append(None)
+            continue
+        attrs = graph._nodes.get(user)
+        if attrs is None:
+            missing += 1
+        live_attrs.append(attrs)
     snapshot.attrs = live_attrs
+    if missing and snapshot.epoch == graph.epoch:
+        raise SnapshotStaleError(
+            path, f"{missing} snapshot users are not in the live graph"
+        )
     snapshot.graph = graph
     if snapshot.epoch != graph.epoch:
         deltas = graph.mutations_since(snapshot.epoch)
@@ -471,13 +488,13 @@ def _adopt(path: Path, snapshot: CompiledGraph, graph: SocialGraph) -> None:
                 f"epoch {snapshot.epoch} is behind the live graph "
                 f"({graph.epoch}) and the journal does not cover the gap",
             )
-    if snapshot.number_of_nodes() != graph.number_of_users():
+    if snapshot.number_of_live_nodes() != graph.number_of_users():
         raise SnapshotStaleError(
             path,
-            f"snapshot has {snapshot.number_of_nodes()} users, "
+            f"snapshot has {snapshot.number_of_live_nodes()} users, "
             f"graph has {graph.number_of_users()}",
         )
-    if set(snapshot.node_ids) != set(graph.users()):
+    if set(snapshot.node_index) != set(graph.users()):
         raise SnapshotStaleError(path, "snapshot and graph user sets differ")
     # Compare as sets: delta patches intern new labels in arrival order,
     # while a fresh compile sorts the alphabet — both orders are valid.
@@ -508,14 +525,16 @@ def _enrich_ops(graph: SocialGraph, ops: Sequence[Tuple[Any, ...]]) -> List[List
     Live-journal ``add_user`` / ``update_user`` markers carry no attributes
     (the dicts are shared); a standalone replay needs them, so the
     checkpoint captures the user's *current* attrs — correct because any
-    later change appears as a later ``update_user`` in the same stream, and
-    removals force a rebase instead of a segment.
+    later change appears as a later ``update_user`` in the same stream.  A
+    user removed later in the same span has no current attrs anymore; the
+    payload is empty then, which replay never reads — the trailing
+    ``remove_user`` tombstones the slot either way.
     """
     enriched: List[List[Any]] = []
     for op in ops:
         kind = op[0]
         if kind in ("add_user", "update_user"):
-            enriched.append([kind, op[1], dict(graph._nodes[op[1]])])
+            enriched.append([kind, op[1], dict(graph._nodes.get(op[1], {}))])
         else:
             enriched.append(list(op))
     return enriched
@@ -571,8 +590,9 @@ class SnapshotStore:
 
     * :meth:`save` writes a fresh base and clears every segment;
     * :meth:`checkpoint` appends the journal burst since the persisted tip
-      as one segment — or rebases when the journal cannot cover the gap,
-      a removal is present, or ``max_delta_segments`` is reached;
+      as one segment (removals included — replay tombstones the slot) — or
+      rebases when the journal cannot cover the gap or
+      ``max_delta_segments`` is reached;
     * :meth:`load` mmaps the base, replays segments, and (optionally)
       adopts into a live graph — raising :class:`SnapshotStaleError` rather
       than ever serving stale data;
@@ -626,9 +646,10 @@ class SnapshotStore:
 
         ``"base"``   — no base existed, wrote one;
         ``"current"`` — the persisted tip already matches the live epoch;
-        ``"delta"``  — appended one segment covering the journal burst;
-        ``"rebase"`` — journal gap uncovered / removal present / segment
-        budget exhausted / base unreadable: rewrote the base.
+        ``"delta"``  — appended one segment covering the journal burst
+        (user removals ride along — replay tombstones the slot);
+        ``"rebase"`` — journal gap uncovered / segment budget exhausted /
+        base unreadable: rewrote the base.
         """
         snapshot = compile_graph(graph)
         if not self.base_path.exists():
@@ -643,11 +664,7 @@ class SnapshotStore:
             return "current"
         ops = graph.mutations_since(tip) if tip is not None else None
         segments = self.delta_paths()
-        if (
-            ops is None
-            or any(op[0] == "remove_user" for op in ops)
-            or len(segments) >= self.max_delta_segments
-        ):
+        if ops is None or len(segments) >= self.max_delta_segments:
             self.save(snapshot)
             return "rebase"
         _write_delta(

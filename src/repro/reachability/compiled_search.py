@@ -667,7 +667,7 @@ def _estimate_sweep_cost(
     drowned out by interpreter overhead, so each extra 16 words of mask
     costs roughly one more interpreter-op equivalent per edge.
     """
-    node_count = max(1, snapshot.number_of_nodes())
+    node_count = max(1, snapshot.number_of_live_nodes())
     stats = snapshot.degree_statistics()
     frontier = float(seed_count)
     cost = float(seed_count)
@@ -713,7 +713,7 @@ def plan_audience_sweep(
         raise ValueError(
             f"unknown sweep direction {direction!r}; expected one of {SWEEP_DIRECTIONS}"
         )
-    node_count = snapshot.number_of_nodes()
+    node_count = snapshot.number_of_live_nodes()
     forward_cost = _estimate_sweep_cost(
         snapshot, tuple(expression), owner_count, owner_count
     )
@@ -897,16 +897,24 @@ def _sweep_reverse(
     reverse = reversed_automaton(snapshot, automaton.expression)
     steps = tuple(automaton.expression)
     node_count = snapshot.number_of_nodes()
+    # Tombstoned slots carry no edges, but they must not be seeded either:
+    # their attribute entries are gone, so a condition probe would fail, and
+    # a dead bit reaching nothing still widens every mask word for free.
+    dead = snapshot.dead_slots
     if steps[-1].conditions:
         # The forward automaton's per-(step, node) memo covers the last
         # step, so repeated reverse sweeps re-evaluate nothing.
         last_index = len(steps) - 1
         holds = automaton.condition_holds
         seeds = {
-            node: 1 << node for node in range(node_count) if holds(last_index, node)
+            node: 1 << node
+            for node in range(node_count)
+            if node not in dead and holds(last_index, node)
         }
     else:
-        seeds = {node: 1 << node for node in range(node_count)}
+        seeds = {
+            node: 1 << node for node in range(node_count) if node not in dead
+        }
     seen = _multisource_mask_sweep(snapshot, reverse, seeds)
     num_states = reverse.num_states
     accept_id = reverse.accept_id

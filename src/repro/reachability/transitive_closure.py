@@ -96,24 +96,28 @@ class TransitiveClosureIndex:
         snapshot = compile_graph(self.graph)
         node_count = snapshot.number_of_nodes()
         user_of = snapshot.node_ids
+        # Tombstoned slots (remove_user deltas) hold no user and no edges —
+        # skip them so the closure keys exactly the live user set.
+        dead = snapshot.dead_slots
+        live = [index for index in range(node_count) if index not in dead]
         forward = [snapshot.forward()]
         both = [snapshot.forward(), snapshot.backward()]
         self._global = {
             user_of[index]: {user_of[reached] for reached in
                              _int_descendants(index, node_count, forward)}
-            for index in range(node_count)
+            for index in live
         }
         self._undirected = {
             user_of[index]: {user_of[reached] for reached in
                              _int_descendants(index, node_count, both)}
-            for index in range(node_count)
+            for index in live
         }
         self._per_label = {
             label: {
                 user_of[index]: {user_of[reached] for reached in
                                  _int_descendants(index, node_count,
                                                   [snapshot.forward(label_id)])}
-                for index in range(node_count)
+                for index in live
             }
             for label_id, label in enumerate(snapshot.labels)
         }

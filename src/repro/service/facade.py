@@ -140,10 +140,13 @@ class GraphService:
         self._seen_epoch = getattr(graph, "epoch", 0)
         self._stability = 0
         self.queries_executed = 0
-        # Observed-outcome feedback per expression text: [queries, denials].
-        # The planner's transitive-closure prune estimate scales with the
-        # measured unreachable rate — the service's cardinality feedback.
-        self._reach_outcomes: Dict[str, List[int]] = {}
+        # Observed-outcome feedback per expression text: [samples seen,
+        # EWMA unreachable rate].  The planner's transitive-closure prune
+        # estimate scales with the decayed rate — the service's cardinality
+        # feedback — so a workload shift (a denial-heavy expression turning
+        # grant-heavy, or vice versa) re-prices plans within ~1/alpha
+        # queries instead of being pinned by the lifetime average.
+        self._reach_outcomes: Dict[str, List[float]] = {}
         # Service-owned parse cache.  Parsing must not route through
         # engine() — that path enforces index freshness and would rebuild a
         # stale index backend just to parse text, behind the planner's back.
@@ -178,7 +181,14 @@ class GraphService:
             self._engines[backend] = engine
             self._built_epoch[backend] = epoch
         elif backend in INDEX_BACKENDS and self._built_epoch.get(backend) != epoch:
-            engine.evaluator.build()
+            refresh = getattr(engine.evaluator, "refresh", None)
+            if refresh is not None:
+                # The cluster evaluator absorbs the journal gap through its
+                # bounded in-place re-condensation when it can, and falls
+                # back to build() itself when it cannot.
+                refresh()
+            else:
+                engine.evaluator.build()
             self._built_epoch[backend] = epoch
         return engine
 
@@ -252,9 +262,12 @@ class GraphService:
 
     #: Outcomes observed before this are too few to trust as a rate.
     _RATE_SAMPLE_FLOOR = 16
+    #: EWMA smoothing factor for the unreachable-rate estimator: each new
+    #: outcome carries this weight, giving the estimate a ~32-query memory.
+    _RATE_ALPHA = 1.0 / 32.0
 
     def _unreachable_rate(self, text: str) -> float:
-        """Observed share of unreachable answers for one expression.
+        """Decayed (EWMA) share of unreachable answers for one expression.
 
         Returns ``0.0`` until :attr:`_RATE_SAMPLE_FLOOR` outcomes accrue, so
         a handful of early denials cannot talk the planner into an index.
@@ -262,14 +275,28 @@ class GraphService:
         outcome = self._reach_outcomes.get(text)
         if outcome is None or outcome[0] < self._RATE_SAMPLE_FLOOR:
             return 0.0
-        return outcome[1] / outcome[0]
+        return outcome[1]
 
     def _observe_outcome(self, text: str, reachable: bool) -> None:
         outcome = self._reach_outcomes.get(text)
         if outcome is None:
-            outcome = self._reach_outcomes[text] = [0, 0]
+            outcome = self._reach_outcomes[text] = [0, 0.0]
         outcome[0] += 1
-        outcome[1] += int(not reachable)
+        sample = 0.0 if reachable else 1.0
+        outcome[1] += self._RATE_ALPHA * (sample - outcome[1])
+
+    def _refresh_ops(self) -> Optional[int]:
+        """Journal length between the cluster index's last (re)build and now.
+
+        ``None`` when the index was never built or the compacting journal no
+        longer covers the gap — both price as a full build in the planner.
+        """
+        built = self._built_epoch.get("cluster-index")
+        mutations_since = getattr(self.graph, "mutations_since", None)
+        if built is None or mutations_since is None:
+            return None
+        ops = mutations_since(built)
+        return None if ops is None else len(ops)
 
     # ------------------------------------------------------------ execution
 
@@ -304,6 +331,7 @@ class GraphService:
             stability=self._stability,
             pinned=self._pin_of(query.backend),
             unreachable_rate=self._unreachable_rate(text),
+            refresh_ops=self._refresh_ops(),
         )
         engine = self.engine(plan.backend)
         outcome = engine.evaluate(
@@ -366,6 +394,7 @@ class GraphService:
             stability=self._stability,
             pinned=self._pin_of(query.backend),
             unreachable_rate=min(rates) if rates else 0.0,
+            refresh_ops=self._refresh_ops(),
         )
         access = self.access_engine(plan.backend)
         decision = access.check_access(

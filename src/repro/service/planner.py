@@ -44,7 +44,11 @@ service's *stability* — the number of queries answered since the last graph
 mutation.  While writes keep arriving, ``build / stability`` stays huge and
 the planner stays online; once the graph settles and a stream of queries
 accrues, the charge melts until an index flips to cheapest, the service
-builds it once, and every later query rides it for free.  Each cached plan
+builds it once, and every later query rides it for free.  A cluster index
+that has been built before is cheaper to bring back: the caller passes the
+journal length since its snapshot epoch (``refresh_ops``) and the charge
+becomes the bounded incremental-refresh estimate (fixed + per-op), capped
+by the full build for bursts the evaluator would rebuild on anyway.  Each cached plan
 records the stability at which this flip becomes possible
 (``revisit_at``), so the warm path re-plans exactly when the answer could
 change and not before.
@@ -90,6 +94,8 @@ _CLUSTER_PER_LINE_QUERY = 6.0
 _CLUSTER_WALK_FACTOR = 4.0   # measured: interned matching trails the compiled
                              # product walk on point queries (PERF-1)
 _CLUSTER_BUILD_UNIT = 8.0    # per line vertex (Tarjan + 2-hop + tables)
+_CLUSTER_REFRESH_FIXED = 256.0  # snapshot delta patch + contracted-pass setup
+_CLUSTER_REFRESH_UNIT = 16.0    # per journaled op the bounded refresh absorbs
 _TC_BUILD_UNIT = 0.25        # per (node x label-filter x (node + edge)); low
                              # because the geometric walk model underestimates
                              # real exploration on scale-free graphs, and the
@@ -187,7 +193,7 @@ class QueryPlanner:
         frontier saturates at ``|V|``).
         """
         stats = snapshot.degree_statistics()
-        node_count = float(max(1, snapshot.number_of_nodes()))
+        node_count = float(max(1, snapshot.number_of_live_nodes()))
         frontier = 1.0
         cost = 1.0
         for step in expression:
@@ -217,10 +223,10 @@ class QueryPlanner:
     def _cluster_build_cost(self, snapshot: CompiledGraph) -> float:
         edges = sum(row.edges for row in snapshot.degree_statistics())
         line_vertices = edges * (2 if self._cluster_reverse else 1)
-        return _CLUSTER_BUILD_UNIT * (snapshot.number_of_nodes() + line_vertices)
+        return _CLUSTER_BUILD_UNIT * (snapshot.number_of_live_nodes() + line_vertices)
 
     def _tc_build_cost(self, snapshot: CompiledGraph) -> float:
-        nodes = snapshot.number_of_nodes()
+        nodes = snapshot.number_of_live_nodes()
         edges = sum(row.edges for row in snapshot.degree_statistics())
         filters = snapshot.number_of_labels() + 2  # global + undirected + per label
         return _TC_BUILD_UNIT * nodes * filters * (nodes + edges)
@@ -233,6 +239,7 @@ class QueryPlanner:
         fresh: Mapping[str, bool],
         stability: int,
         unreachable_rate: float,
+        refresh_ops: Optional[int],
     ) -> Tuple[BackendEstimate, ...]:
         walk = self._walk_cost(snapshot, expression)
         amortize_over = float(max(1, stability))
@@ -280,6 +287,22 @@ class QueryPlanner:
                     )
                 if available and not fresh.get(name, False):
                     build = self._cluster_build_cost(snapshot)
+                    if refresh_ops is not None:
+                        # A previously built index can absorb the journal gap
+                        # through the bounded in-place re-condensation, which
+                        # scales with the burst instead of the line graph; the
+                        # evaluator still rebuilds past its touched-fraction
+                        # threshold, so the full build stays the ceiling.
+                        refresh = (
+                            _CLUSTER_REFRESH_FIXED
+                            + _CLUSTER_REFRESH_UNIT * refresh_ops
+                        )
+                        if refresh < build:
+                            build = refresh
+                            note = (
+                                f"incremental refresh priced over {refresh_ops} "
+                                "journaled ops"
+                            )
             else:
                 # Unknown names are planned pessimistically rather than
                 # rejected: the registry is extensible.
@@ -346,17 +369,21 @@ class QueryPlanner:
         stability: int,
         pinned: Optional[str] = None,
         unreachable_rate: float = 0.0,
+        refresh_ops: Optional[int] = None,
     ) -> ExecutionPlan:
         """Plan one point reachability query (also the access-check unit).
 
         ``unreachable_rate`` is the caller's observed share of queries on
         this expression that came back unreachable — the feedback signal the
         transitive-closure prune estimate scales with (``0.0``, the default,
-        prices the closure as pure overhead).
+        prices the closure as pure overhead).  ``refresh_ops`` is the number
+        of journaled mutations a stale cluster index could absorb through
+        its bounded incremental refresh; ``None`` (no index built yet, or
+        the journal no longer covers the gap) prices a full build.
         """
         return self._plan_costed(
             "reach", snapshot, (expression,), backends, fresh, stability, pinned,
-            unreachable_rate,
+            unreachable_rate, refresh_ops,
         )
 
     def plan_access(
@@ -369,11 +396,12 @@ class QueryPlanner:
         stability: int,
         pinned: Optional[str] = None,
         unreachable_rate: float = 0.0,
+        refresh_ops: Optional[int] = None,
     ) -> ExecutionPlan:
         """Plan one access check: every rule condition is a reach query."""
         return self._plan_costed(
             "access", snapshot, tuple(expressions), backends, fresh, stability,
-            pinned, unreachable_rate,
+            pinned, unreachable_rate, refresh_ops,
         )
 
     def _plan_costed(
@@ -386,11 +414,15 @@ class QueryPlanner:
         stability: int,
         pinned: Optional[str],
         unreachable_rate: float = 0.0,
+        refresh_ops: Optional[int] = None,
     ) -> ExecutionPlan:
         epoch = snapshot.epoch
         # Bucketed so a drifting observed rate yields a handful of cache
         # variants per expression, not one per query.
         rate_bucket = int(max(0.0, min(1.0, unreachable_rate)) * _RATE_BUCKETS)
+        # Log-bucketed: the refresh charge only needs order-of-magnitude
+        # resolution, and journal growth must not mint a key per mutation.
+        refresh_bucket = -1 if refresh_ops is None else refresh_ops.bit_length()
         key = (
             kind,
             tuple(sorted(expression.to_text() for expression in expressions)),
@@ -398,6 +430,7 @@ class QueryPlanner:
             tuple(backends),
             self._freshness_signature(fresh),
             rate_bucket,
+            refresh_bucket,
         )
         cached = self._cached(key, epoch, stability)
         if cached is not None:
@@ -422,7 +455,7 @@ class QueryPlanner:
         for expression in expressions:
             for estimate in self._reach_estimates(
                 snapshot, expression, backends, fresh, stability,
-                rate_bucket / _RATE_BUCKETS,
+                rate_bucket / _RATE_BUCKETS, refresh_ops,
             ):
                 previous = summed.get(estimate.backend)
                 if previous is None:

@@ -34,16 +34,17 @@ __all__ = [
 
 #: One churn operation, executable against the workload graph in burst
 #: order: ``("add_edge", u, v, label)`` / ``("remove_edge", u, v, label)`` /
-#: ``("set_attribute", u, key, value)``.
+#: ``("set_attribute", u, key, value)`` / ``("remove_user", u)`` /
+#: ``("add_user", u)``.
 ChurnOp = Tuple
 
 
 def apply_churn_op(graph: SocialGraph, op: ChurnOp) -> None:
     """Execute one churn operation through the public mutation API.
 
-    Bursts are generated against a simulation of the graph's edge set, so
-    replaying them *in order* is always valid; each call commits exactly one
-    epoch bump (and one journal entry) per operation.
+    Bursts are generated against a simulation of the graph's edge and user
+    populations, so replaying them *in order* is always valid; each call
+    commits exactly one epoch bump (and one journal entry) per operation.
     """
     kind = op[0]
     if kind == "add_edge":
@@ -52,6 +53,10 @@ def apply_churn_op(graph: SocialGraph, op: ChurnOp) -> None:
         graph.remove_relationship(op[1], op[2], op[3])
     elif kind == "set_attribute":
         graph.update_user(op[1], **{op[2]: op[3]})
+    elif kind == "remove_user":
+        graph.remove_user(op[1])
+    elif kind == "add_user":
+        graph.add_user(op[1])
     else:
         raise ValueError(f"unknown churn operation {op!r}")
 
@@ -100,6 +105,13 @@ class WorkloadSpec:
     churn_burst_size: int = 16
     #: Share of each burst that rewrites node attributes instead of edges.
     churn_attribute_fraction: float = 0.25
+    #: Share of the remaining (non-attribute) ops that churn *users* instead
+    #: of edges: alternating ``remove_user`` (incident edges vanish with the
+    #: node) and ``add_user`` (a fresh name joins the population) so |V|
+    #: stays roughly constant.  The remove-heavy regime the tombstone path
+    #: (PR 7) exists for; ``0.0`` (the default) reproduces pre-PR 7 bursts
+    #: byte for byte.
+    churn_remove_user_fraction: float = 0.0
     expressions: Tuple[str, ...] = (
         "friend+[1]",
         "friend+[1,2]",
@@ -201,28 +213,68 @@ def _generate_churn(
 ) -> List[Tuple[ChurnOp, ...]]:
     """Generate ``spec.churn_bursts`` bursts of valid, ordered mutations.
 
-    The bursts are built against a *simulated* edge set (seeded from the
-    generated graph) so every removal names an edge that exists and every
-    addition a triple that does not, at the point it is replayed.  Edge
-    churn alternates remove/add to hold |E| roughly constant — the regime
-    where a full snapshot rebuild's O(|V| + |E|) cost is pure overhead.
+    The bursts are built against a *simulated* edge and user population
+    (seeded from the generated graph) so every removal names an edge or
+    user that exists and every addition one that does not, at the point it
+    is replayed.  Edge churn alternates remove/add to hold |E| roughly
+    constant — the regime where a full snapshot rebuild's O(|V| + |E|)
+    cost is pure overhead — and, when ``churn_remove_user_fraction > 0``,
+    user churn alternates the same way: a ``remove_user`` takes its
+    incident edges out of the simulation (the graph drops them with the
+    node), a later ``add_user`` restores the population with a fresh name.
     """
     if spec.churn_bursts <= 0 or spec.churn_burst_size <= 0 or not users:
         return []
     labels = list(graph.labels()) or ["friend"]
-    # List + set mirror of the edge population: O(1) uniform choice (by
-    # index), O(1) removal (swap with the tail), deterministic for the rng.
+    # List + set mirrors of the edge and user populations: O(1) uniform
+    # choice (by index), O(1) removal (swap with the tail), deterministic
+    # for the rng.  With churn_remove_user_fraction == 0 the pool is never
+    # mutated and the rng stream is identical to pre-PR 7 bursts.
     edge_list = [(rel.source, rel.target, rel.label) for rel in graph.relationships()]
     edge_set = set(edge_list)
+    user_pool = list(users)
+    user_set = set(user_pool)
+    next_user_serial = 0
     bursts: List[Tuple[ChurnOp, ...]] = []
     for _ in range(spec.churn_bursts):
         ops: List[ChurnOp] = []
         remove_next = True
+        remove_user_next = True
         while len(ops) < spec.churn_burst_size:
             if rng.random() < spec.churn_attribute_fraction:
                 ops.append(
-                    ("set_attribute", rng.choice(users), "age", rng.randint(13, 90))
+                    ("set_attribute", rng.choice(user_pool), "age", rng.randint(13, 90))
                 )
+                continue
+            if (
+                spec.churn_remove_user_fraction > 0
+                and rng.random() < spec.churn_remove_user_fraction
+            ):
+                if remove_user_next and len(user_pool) > 2:
+                    position = rng.randrange(len(user_pool))
+                    user = user_pool[position]
+                    user_pool[position] = user_pool[-1]
+                    user_pool.pop()
+                    user_set.discard(user)
+                    # The node takes its incident edges with it.
+                    edge_list = [
+                        edge
+                        for edge in edge_list
+                        if edge[0] != user and edge[1] != user
+                    ]
+                    edge_set = set(edge_list)
+                    ops.append(("remove_user", user))
+                    remove_user_next = False
+                else:
+                    while True:
+                        name = f"churn-user-{next_user_serial}"
+                        next_user_serial += 1
+                        if name not in user_set:
+                            break
+                    user_pool.append(name)
+                    user_set.add(name)
+                    ops.append(("add_user", name))
+                    remove_user_next = True
                 continue
             if remove_next and edge_list:
                 position = rng.randrange(len(edge_list))
@@ -234,7 +286,11 @@ def _generate_churn(
                 remove_next = False
                 continue
             for _attempt in range(32):
-                candidate = (rng.choice(users), rng.choice(users), rng.choice(labels))
+                candidate = (
+                    rng.choice(user_pool),
+                    rng.choice(user_pool),
+                    rng.choice(labels),
+                )
                 if candidate not in edge_set:
                     edge_set.add(candidate)
                     edge_list.append(candidate)

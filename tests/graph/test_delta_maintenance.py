@@ -11,8 +11,9 @@ from all four reachability backends.
 The seeded property harness below applies >= 250 random mutation journals
 (edge adds/removes including self-loops and brand-new labels, attribute
 writes through both ``update_user`` and the live ``AttributeMap``, user
-adds) to random base graphs and asserts exactly that, plus the fallback
-paths: user removals and journal overflow must abandon the patch and
+adds, user removals — which tombstone the slot in place — and remove/re-add
+bursts that exercise slot reuse) to random base graphs and asserts exactly
+that, plus the fallback paths: journal overflow must abandon the patch and
 rebuild, and a pinned snapshot must never be patched at all.
 """
 
@@ -94,26 +95,40 @@ def apply_random_mutations(
         elif roll < 0.90 or not allow_remove_user:
             graph.add_user(f"late{graph.epoch}", age=rng.randint(10, 70))
         else:
+            if len(users) <= 2:
+                continue  # keep the graph interesting
             graph.remove_user(rng.choice(users))
         applied += 1
 
 
 def decoded_adjacency(snapshot: CompiledGraph, label_id, *, backward=False):
-    """Per-user sorted neighbor-id lists for one label (or the merged view)."""
+    """Per-user sorted neighbor-id lists for one label (or the merged view).
+
+    Tombstoned slots hold no user and must also hold no edges — asserted
+    here rather than skipped silently.
+    """
     reader = snapshot.in_neighbors if backward else snapshot.out_neighbors
-    return {
-        snapshot.node_ids[index]: sorted(
-            (str(snapshot.node_ids[n]) for n in reader(index, label_id))
+    dead = snapshot.dead_slots
+    decoded = {}
+    for index in range(snapshot.number_of_nodes()):
+        row = reader(index, label_id)
+        if index in dead:
+            assert len(row) == 0, f"tombstoned slot {index} still has edges"
+            continue
+        decoded[snapshot.node_ids[index]] = sorted(
+            str(snapshot.node_ids[n]) for n in row
         )
-        for index in range(snapshot.number_of_nodes())
-    }
+    return decoded
 
 
 def assert_snapshots_equivalent(patched: CompiledGraph, fresh: CompiledGraph):
-    assert set(patched.node_ids) == set(fresh.node_ids)
-    assert len(patched.node_ids) == len(patched.node_index)
-    for index, user in enumerate(patched.node_ids):
-        assert patched.node_index[user] == index
+    assert set(patched.node_index) == set(fresh.node_index)
+    assert patched.number_of_live_nodes() == len(patched.node_index)
+    assert patched.number_of_live_nodes() == fresh.number_of_live_nodes()
+    dead = patched.dead_slots
+    for user, index in patched.node_index.items():
+        assert patched.node_ids[index] == user
+        assert index not in dead
         assert patched.attrs[index] == fresh.attrs[fresh.index_of(user)]
     # Label interning is append-only across patches: a label whose last edge
     # was removed lingers with an empty CSR (observationally equivalent to
@@ -204,7 +219,8 @@ def test_patched_snapshot_equals_fresh_compile(seed):
 
 
 @pytest.mark.parametrize("seed", range(25))
-def test_user_removal_falls_back_to_a_full_rebuild(seed):
+def test_user_removal_tombstones_the_slot_in_place(seed):
+    """The inverse of the pre-tombstone contract: removals patch, not rebuild."""
     rng = random.Random(91_000 + seed)
     graph = random_base_graph(rng)
     snapshot = compile_graph(graph)
@@ -212,10 +228,78 @@ def test_user_removal_falls_back_to_a_full_rebuild(seed):
     graph.remove_user(rng.choice(list(graph.users())))
     apply_random_mutations(rng, graph, 4)
 
-    rebuilt = compile_graph(graph)
-    assert rebuilt is not snapshot, "remove_user must abandon the patch"
-    assert rebuilt.delta_events["applies"] == 0
-    assert_snapshots_equivalent(rebuilt, CompiledGraph(graph))
+    patched = compile_graph(graph)
+    assert patched is snapshot, "remove_user must tombstone in place"
+    assert not patched.is_stale()
+    assert patched.delta_events["applies"] >= 1
+    assert patched.delta_events["tombstones"] >= 1
+    assert patched.number_of_live_nodes() == graph.number_of_users()
+    assert_snapshots_equivalent(patched, CompiledGraph(graph))
+
+
+@pytest.mark.parametrize("seed", JOURNAL_SEEDS)
+def test_remove_heavy_churn_patches_in_place(seed):
+    """The 250-seed harness, removals enabled: tombstoned == fresh-compiled."""
+    rng = random.Random(93_000 + seed)
+    graph = random_base_graph(rng)
+    snapshot = compile_graph(graph)
+    snapshot.degree_statistics()  # warm the partial-refresh path too
+    apply_random_mutations(
+        rng, graph, MUTATIONS_PER_JOURNAL, allow_remove_user=True
+    )
+
+    patched = compile_graph(graph)
+    assert patched is snapshot, "removal-bearing burst must patch in place"
+    assert not patched.is_stale()
+    assert_snapshots_equivalent(patched, CompiledGraph(graph))
+    if seed % BACKEND_CHECK_EVERY == 0:
+        assert_backends_agree_after_patch(rng, graph)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_remove_then_readd_reuses_the_slot(seed):
+    rng = random.Random(94_000 + seed)
+    graph = random_base_graph(rng)
+    snapshot = compile_graph(graph)
+    victim = rng.choice(list(graph.users()))
+    slot = snapshot.node_index[victim]
+    graph.remove_user(victim)
+    newcomer = f"fresh{seed}"
+    graph.add_user(newcomer, age=rng.randint(10, 70))
+    others = [user for user in graph.users() if user != newcomer]
+    for target in rng.sample(others, min(2, len(others))):
+        graph.add_relationship(newcomer, target, rng.choice(LABELS))
+
+    patched = compile_graph(graph)
+    assert patched is snapshot
+    assert patched.node_index[newcomer] == slot, "freed slot must be reused"
+    assert patched.delta_events["slot_reuses"] >= 1
+    assert patched.number_of_live_nodes() == graph.number_of_users()
+    assert not patched.dead_slots
+    assert_snapshots_equivalent(patched, CompiledGraph(graph))
+    assert_backends_agree_after_patch(rng, graph)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_interleaved_remove_readd_bursts(seed):
+    """Same user id leaving and returning (with new edges) across one burst."""
+    rng = random.Random(95_000 + seed)
+    graph = random_base_graph(rng)
+    snapshot = compile_graph(graph)
+    for _ in range(3):
+        victim = rng.choice(list(graph.users()))
+        graph.remove_user(victim)
+        graph.add_user(victim, age=rng.randint(10, 70))
+        others = [user for user in graph.users() if user != victim]
+        if others:
+            graph.add_relationship(victim, rng.choice(others), rng.choice(LABELS))
+        apply_random_mutations(rng, graph, 2, allow_remove_user=True)
+
+    patched = compile_graph(graph)
+    assert patched is snapshot
+    assert_snapshots_equivalent(patched, CompiledGraph(graph))
+    if seed % 5 == 0:
+        assert_backends_agree_after_patch(rng, graph)
 
 
 @pytest.mark.parametrize("seed", range(25))

@@ -128,6 +128,34 @@ class TestLoadEdgeList:
         path = self._write(tmp_path, "1 2\n")
         assert load_edge_list(path).name == "edges"
 
+    def test_bom_prefixed_header_is_still_a_comment(self, tmp_path):
+        # A UTF-8 BOM before the KONECT "%" header used to hide the comment
+        # marker and crash the parse on the header's token count.
+        path = tmp_path / "edges.txt"
+        path.write_bytes("\ufeff% sym unweighted\n1 2\n".encode("utf-8"))
+        graph = load_edge_list(path)
+        assert graph.number_of_users() == 2
+        assert graph.has_relationship("1", "2", "friend")
+
+    def test_crlf_lines_parse_cleanly(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_bytes(b"# header\r\n1 2\r\n2 3\r\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_users() == 3
+        assert graph.has_relationship("2", "3", "friend")
+
+    def test_four_column_konect_line_raises_with_line_number(self, tmp_path):
+        # KONECT TSV bodies carry "src dst weight timestamp" rows; the
+        # loader must refuse them by name rather than misread the weight
+        # column as a label.
+        path = self._write(
+            tmp_path, "% konect header\n1 2\n2 3 1 1167609600\n"
+        )
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_edge_list(path)
+        assert "line 3" in str(excinfo.value)
+        assert "1167609600" in str(excinfo.value)
+
     def test_bundled_karate_club_fixture(self):
         from repro.datasets import KARATE_CLUB_PATH, karate_club
 

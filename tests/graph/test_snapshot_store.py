@@ -291,17 +291,58 @@ def test_persisted_update_user_payload_replays_standalone(tmp_path):
     assert loaded.attrs[loaded.node_index["b"]]["age"] == 99
 
 
-def test_user_removal_forces_a_rebase(tmp_path):
+def test_user_removal_emits_a_delta_segment(tmp_path):
     graph = SocialGraph()
     for user in ("a", "b", "c"):
         graph.add_user(user, age=30)
     graph.add_relationship("a", "b", "friend")
+    graph.add_relationship("b", "c", "friend")
     store = SnapshotStore(tmp_path / "g.snap")
     store.checkpoint(graph)
     graph.remove_user("c")
-    assert store.checkpoint(graph) == "rebase"
-    assert store.stat()["delta_segments"] == 0
-    assert store.load().number_of_nodes() == 2
+    assert store.checkpoint(graph) == "delta"
+    assert store.stat()["delta_segments"] == 1
+    # Standalone replay tombstones the slot: three dense slots, two users.
+    loaded = store.load()
+    assert loaded.number_of_nodes() == 3
+    assert loaded.number_of_live_nodes() == 2
+    assert set(loaded.node_index) == {"a", "b"}
+    assert len(loaded.out_neighbors(loaded.node_index["b"])) == 0  # b->c gone
+    assert len(loaded.out_neighbors(loaded.node_index["a"])) == 1  # a->b kept
+    # Adoption into the live graph verifies structure against the live state.
+    adopted = store.load(graph)
+    assert set(adopted.node_index) == {"a", "b"}
+
+
+def test_removal_bearing_delta_round_trip_with_slot_reuse(tmp_path):
+    """remove + re-add in one persisted span: replay reuses the slot."""
+    graph = SocialGraph()
+    for user in ("a", "b", "c"):
+        graph.add_user(user, age=30)
+    graph.add_relationship("a", "b", "friend")
+    graph.add_relationship("b", "c", "friend")
+    store = SnapshotStore(tmp_path / "g.snap")
+    store.checkpoint(graph)
+    graph.remove_user("c")
+    graph.add_user("d", age=41)
+    graph.add_relationship("b", "d", "friend")
+    graph.update_user("d", age=42)
+    assert store.checkpoint(graph) == "delta"
+    loaded = store.load()
+    assert loaded.number_of_live_nodes() == 3
+    assert set(loaded.node_index) == {"a", "b", "d"}
+    assert loaded.attrs[loaded.node_index["d"]]["age"] == 42
+    decoded = {
+        loaded.node_ids[n]
+        for n in loaded.out_neighbors(loaded.node_index["b"])
+    }
+    assert decoded == {"d"}
+    # A post-replay save squeezes the tombstone out: fresh readers see a
+    # dense, fully live snapshot.
+    rebased = SnapshotStore(tmp_path / "rebased.snap")
+    rebased.save(loaded)
+    reread = rebased.load()
+    assert reread.number_of_nodes() == reread.number_of_live_nodes() == 3
 
 
 def test_segment_budget_triggers_a_rebase(tmp_path):

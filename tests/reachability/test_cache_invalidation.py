@@ -100,13 +100,19 @@ class TestSnapshotFollowsTheEpoch:
         assert rebuilt is not snapshot
         assert snapshot.is_stale() and not rebuilt.is_stale()
 
-    def test_snapshot_rebuilds_after_user_removal(self):
+    def test_snapshot_tombstones_removed_users_in_place(self):
         graph = two_user_graph()
         snapshot = compile_graph(graph)
         graph.remove_user("b")
-        rebuilt = compile_graph(graph)
-        assert rebuilt is not snapshot and not rebuilt.is_stale()
-        assert not rebuilt.graph.has_user("b")
+        # Removals no longer force a rebuild: the slot is tombstoned and the
+        # same object patched in place (see test_delta_maintenance for the
+        # full churn harness).
+        patched = compile_graph(graph)
+        assert patched is snapshot and not patched.is_stale()
+        assert not patched.graph.has_user("b")
+        assert "b" not in patched.node_index
+        assert patched.number_of_live_nodes() == 1
+        assert patched.delta_events["tombstones"] == 1
 
     def test_derived_indexes_die_with_their_snapshot(self):
         graph = two_user_graph()

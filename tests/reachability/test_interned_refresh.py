@@ -1,0 +1,289 @@
+"""Bounded incremental re-condensation of the interned cluster index.
+
+Differential property harness: after a journaled churn burst,
+``InternedLineIndex.refresh_from_ops`` must leave the index
+indistinguishable from one built fresh over the final graph — the full
+live-vertex reachability matrix, the Definition-5 labeling size, the line
+edge count and the per-component representatives all have to agree.  The
+evaluator-level tests then check ``ClusterIndexEvaluator.refresh()`` mode
+selection and that refreshed query answers agree with every other backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.compiled import compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.cluster_engine import ClusterIndexEvaluator
+from repro.reachability.interned import (
+    REFRESH_REBUILD_FRACTION,
+    InternedLineIndex,
+    interned_line_index,
+)
+
+LABELS = ["friend", "follows", "coworker"]
+REFRESH_SEEDS = range(120)
+
+
+def sparse_graph(seed, users=30, edges=34):
+    """A sparse random digraph (mean out-degree ~1, fine-grained line SCCs)."""
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    names = [f"u{i}" for i in range(users)]
+    for name in names:
+        graph.add_user(name, age=rng.randint(18, 60))
+    added = set()
+    while len(added) < edges:
+        a, b = rng.sample(names, 2)
+        label = rng.choice(LABELS)
+        if (a, b, label) in added:
+            continue
+        graph.add_relationship(a, b, label)
+        added.add((a, b, label))
+    return graph, names, added, rng
+
+
+def churn(graph, names, edges, rng, rounds, remove_user_prob=0.2):
+    """Mixed burst: user removals, edge removals, edge adds, user adds."""
+    edge_list = list(edges)
+    for _ in range(rounds):
+        roll = rng.random()
+        if roll < remove_user_prob and len(names) > 4:
+            victim = rng.choice(names)
+            names.remove(victim)
+            edge_list = [e for e in edge_list if victim not in (e[0], e[1])]
+            graph.remove_user(victim)
+        elif roll < 0.35 and edge_list:
+            edge = rng.choice(edge_list)
+            edge_list.remove(edge)
+            graph.remove_relationship(*edge)
+        elif roll < 0.8:
+            a, b = rng.sample(names, 2)
+            label = rng.choice(LABELS)
+            if (a, b, label) not in edge_list:
+                graph.add_relationship(a, b, label)
+                edge_list.append((a, b, label))
+        else:
+            newbie = f"n{rng.randint(0, 10 ** 6)}"
+            if newbie not in names:
+                graph.add_user(newbie, age=rng.randint(18, 60))
+                names.append(newbie)
+                other = rng.choice(names[:-1])
+                label = rng.choice(LABELS)
+                graph.add_relationship(newbie, other, label)
+                edge_list.append((newbie, other, label))
+    edges.clear()
+    edges.update(edge_list)
+
+
+def fresh_copy(graph, names, edges):
+    """Rebuild the final graph from scratch (deterministic edge order)."""
+    out = SocialGraph()
+    for name in names:
+        out.add_user(name, **graph._nodes[name])
+    for (a, b, label) in sorted(edges, key=str):
+        out.add_relationship(a, b, label)
+    return out
+
+
+def reach_matrix(index):
+    """Full reachability matrix over live vertices, keyed by decoded ids."""
+    live = [v for v in range(index.count) if index.comp_of[v] >= 0]
+    ids = {v: index.vertex_id(v) for v in live}
+    return {(ids[a], ids[b]): index.reaches(a, b) for a in live for b in live}
+
+
+def assert_indexes_equivalent(refreshed, fresh):
+    assert reach_matrix(refreshed) == reach_matrix(fresh)
+    assert refreshed.labeling_size() == fresh.labeling_size()
+    assert refreshed.number_of_line_edges() == fresh.number_of_line_edges()
+    assert sorted(refreshed.representative_names()) == sorted(
+        fresh.representative_names()
+    )
+
+
+class TestRefreshFromOps:
+    @pytest.mark.parametrize("seed", REFRESH_SEEDS)
+    def test_incremental_refresh_matches_fresh_build(self, seed):
+        graph, names, edges, rng = sparse_graph(seed)
+        index = interned_line_index(graph, include_reverse=False, refresh=True)
+        index.snapshot.pin()
+        churn(graph, names, edges, rng, rounds=6)
+        ops = graph.mutations_since(index.snapshot.epoch)
+        assert ops is not None
+        if not index.refresh_from_ops(ops):
+            return  # touched-fraction fallback: the caller rebuilds
+        assert index.refreshes == 1
+        assert index.snapshot.epoch == graph.epoch
+        fresh = InternedLineIndex(
+            compile_graph(fresh_copy(graph, names, edges)), include_reverse=False
+        )
+        assert_indexes_equivalent(index, fresh)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_repeated_refreshes_stay_equivalent(self, seed):
+        """Three churn generations in a row exercise the maintained
+        vertex map, tombstone accumulation and carried component sizes."""
+        graph, names, edges, rng = sparse_graph(seed)
+        index = interned_line_index(graph, include_reverse=False, refresh=True)
+        index.snapshot.pin()
+        for _generation in range(3):
+            churn(graph, names, edges, rng, rounds=4)
+            ops = graph.mutations_since(index.snapshot.epoch)
+            assert ops is not None
+            if not index.refresh_from_ops(ops):
+                return
+            fresh = InternedLineIndex(
+                compile_graph(fresh_copy(graph, names, edges)),
+                include_reverse=False,
+            )
+            assert_indexes_equivalent(index, fresh)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_oriented_refresh_matches_fresh_build(self, seed):
+        """The oriented (include_reverse) index usually has one giant line
+        SCC, so removals mostly trip the threshold — but add-dominant bursts
+        refresh incrementally and must agree with a fresh build."""
+        graph, names, edges, rng = sparse_graph(seed)
+        index = interned_line_index(graph, include_reverse=True, refresh=True)
+        index.snapshot.pin()
+        for _ in range(3):
+            a, b = rng.sample(names, 2)
+            label = rng.choice(LABELS)
+            if (a, b, label) not in edges:
+                graph.add_relationship(a, b, label)
+                edges.add((a, b, label))
+        ops = graph.mutations_since(index.snapshot.epoch)
+        assert ops is not None
+        assert index.refresh_from_ops(ops)
+        fresh = InternedLineIndex(
+            compile_graph(fresh_copy(graph, names, edges)), include_reverse=True
+        )
+        assert_indexes_equivalent(index, fresh)
+
+    def test_remove_then_readd_same_edge_is_a_noop_for_the_vertex(self):
+        graph, names, edges, rng = sparse_graph(7)
+        index = interned_line_index(graph, include_reverse=False, refresh=True)
+        index.snapshot.pin()
+        edge = sorted(edges, key=str)[0]
+        graph.remove_relationship(*edge)
+        graph.add_relationship(*edge)
+        ops = graph.mutations_since(index.snapshot.epoch)
+        before = index.count
+        assert index.refresh_from_ops(ops)
+        assert index.count == before  # the vertex never left
+        fresh = InternedLineIndex(
+            compile_graph(fresh_copy(graph, names, edges)), include_reverse=False
+        )
+        assert_indexes_equivalent(index, fresh)
+
+    def test_giant_component_removal_falls_back(self):
+        """Touching more than REFRESH_REBUILD_FRACTION of the vertices must
+        refuse the incremental path instead of doing hidden O(n) work."""
+        graph = SocialGraph()
+        for i in range(8):
+            graph.add_user(f"u{i}")
+        for i in range(8):
+            graph.add_relationship(f"u{i}", f"u{(i + 1) % 8}", "friend")
+        index = interned_line_index(graph, include_reverse=False, refresh=True)
+        index.snapshot.pin()
+        assert max(index.comp_sizes) == 8  # one cycle = one line SCC
+        assert REFRESH_REBUILD_FRACTION < 1.0
+        graph.remove_relationship("u0", "u1", "friend")
+        ops = graph.mutations_since(index.snapshot.epoch)
+        assert index.refresh_from_ops(ops) is False
+        assert index.refreshes == 0
+
+
+class TestEvaluatorRefresh:
+    def expr(self, text):
+        return PathExpression.parse(text)
+
+    def test_refresh_modes(self):
+        graph, names, edges, rng = sparse_graph(3)
+        evaluator = ClusterIndexEvaluator(graph, include_reverse=False).build()
+        assert evaluator.refresh() == "noop"
+        a, b = names[0], names[-1]
+        if (a, b, "friend") not in edges:
+            graph.add_relationship(a, b, "friend")
+        assert evaluator.refresh() == "incremental"
+        assert evaluator.last_refresh_mode == "incremental"
+        assert evaluator.refresh() == "noop"
+        # A burst past the threshold (remove most edges) forces a rebuild.
+        for edge in sorted(edges, key=str):
+            graph.remove_relationship(*edge)
+        assert evaluator.refresh() == "rebuild"
+        assert evaluator.refresh_seconds == evaluator.build_seconds
+
+    def test_refresh_without_journal_rebuilds(self):
+        graph, _names, _edges, _rng = sparse_graph(4)
+        graph.journal_limit = 0  # journaling off: no ops to replay
+        evaluator = ClusterIndexEvaluator(graph, include_reverse=False).build()
+        graph.add_relationship("u0", "u5", "friend")
+        assert evaluator.refresh() == "rebuild"
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_refreshed_evaluator_agrees_with_every_backend(self, seed):
+        graph, names, edges, rng = sparse_graph(seed)
+        evaluator = ClusterIndexEvaluator(graph, include_reverse=False).build()
+        churn(graph, names, edges, rng, rounds=5)
+        mode = evaluator.refresh()
+        assert mode in ("incremental", "rebuild")
+        final = fresh_copy(graph, names, edges)
+        rebuilt = ClusterIndexEvaluator(final, include_reverse=False).build()
+        bfs = OnlineBFSEvaluator(final)
+        expression = self.expr("friend+[1,2]/follows+[1,2]")
+        probes = rng.sample(names, min(8, len(names)))
+        for source in probes:
+            want = bfs.find_targets(source, expression)
+            assert evaluator.find_targets(source, expression) == want
+            assert rebuilt.find_targets(source, expression) == want
+        for source in probes[:4]:
+            for target in probes[:4]:
+                want = bfs.evaluate(source, target, expression).reachable
+                got = evaluator.evaluate(source, target, expression).reachable
+                assert got == want
+
+
+class TestServiceRefreshIntegration:
+    def test_facade_routes_stale_cluster_through_refresh(self):
+        from repro.service.facade import GraphService
+
+        graph, names, edges, rng = sparse_graph(11)
+        service = GraphService(
+            graph,
+            backend_options={"cluster-index": {"include_reverse": False}},
+        )
+        engine = service.engine("cluster-index")
+        assert engine.evaluator.last_refresh_mode is None  # first build
+        a, b = names[0], names[-1]
+        if (a, b, "friend") not in edges:
+            graph.add_relationship(a, b, "friend")
+        engine = service.engine("cluster-index")
+        assert engine.evaluator.last_refresh_mode == "incremental"
+        # The routed engine answers from the refreshed (current) snapshot.
+        assert engine.evaluator._index.snapshot.epoch == graph.epoch
+
+    def test_planner_prices_refresh_below_full_build(self):
+        from repro.service.planner import QueryPlanner
+
+        graph, _names, _edges, _rng = sparse_graph(12)
+        snapshot = compile_graph(graph)
+        planner = QueryPlanner()
+        expression = PathExpression.parse("friend+[1,2]")
+        backends = ("bfs", "cluster-index")
+        common = dict(
+            backends=backends, fresh={"bfs": True, "cluster-index": False},
+            stability=4,
+        )
+        cold = planner.plan_reach(snapshot, expression, **common)
+        warm = planner.plan_reach(snapshot, expression, refresh_ops=3, **common)
+        cold_cluster = cold.estimate_for("cluster-index")
+        warm_cluster = warm.estimate_for("cluster-index")
+        assert warm_cluster.build_cost < cold_cluster.build_cost
+        assert "refresh" in warm_cluster.note

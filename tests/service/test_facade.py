@@ -238,6 +238,36 @@ class TestDenialFeedbackFlip:
             source, outside[1], expression, collect_witness=False
         ).reachable
 
+    def test_shifting_workload_decays_the_unreachable_rate(self):
+        """The estimator is an EWMA, not a lifetime ratio: when a
+        denial-heavy expression turns grant-heavy, the rate decays within
+        ~3/alpha samples instead of being pinned near the historic average,
+        and the planner stops discounting the closure for it."""
+        graph, source, outside = self._denial_material()
+        service = GraphService(graph)
+        expression = "friend+[1,3]/colleague+[1,2]"
+        text = service._parse(expression).to_text()
+        for index in range(60):
+            service.reach(
+                source, outside[index % len(outside)], expression,
+                collect_witness=False,
+            )
+        denial_rate = service._unreachable_rate(text)
+        assert denial_rate > 0.5
+        # The workload shifts to grants.  A lifetime [queries, denials]
+        # ratio would still read ~0.33 after twice as many grants as
+        # denials; the decayed estimate forgets the denial era.
+        for _ in range(120):
+            service._observe_outcome(text, reachable=True)
+        decayed = service._unreachable_rate(text)
+        assert decayed < 0.05
+        # Even a fully melted build charge no longer flips the planner.
+        service._stability = 10**9
+        result = service.reach(
+            source, outside[0], expression, collect_witness=False
+        )
+        assert result.plan.backend == "bfs"
+
     def test_feedback_needs_a_minimum_sample(self):
         graph, source, outside = self._denial_material()
         service = GraphService(graph)
