@@ -21,6 +21,10 @@ The library has these layers (see docs/architecture.md for how they fit):
 * :mod:`repro.service` — the stable public surface: typed queries, the
   query planner (per-query backend auto-selection), plan-carrying results
   and the :class:`~repro.service.GraphService` session facade.
+* :mod:`repro.reliability` — deterministic fault injection over the
+  snapshot I/O seam, the crash-consistency simulator, query budgets
+  (:class:`~repro.reliability.QueryGuard`) and the index-maintenance
+  circuit breaker (:class:`~repro.reliability.CircuitBreaker`).
 
 Quickstart
 ----------
@@ -74,6 +78,13 @@ from repro.reachability import (
     TransitiveClosureEvaluator,
     available_backends,
     create_evaluator,
+)
+from repro.reliability import (
+    CircuitBreaker,
+    CrashConsistencySimulator,
+    FaultInjector,
+    QueryGuard,
+    RecoveryReport,
 )
 from repro.service import (
     AccessQuery,
@@ -141,4 +152,10 @@ __all__ = [
     "AudienceResult",
     "AccessResult",
     "BulkAccessResult",
+    # reliability (fault injection, crash recovery, degradation)
+    "CircuitBreaker",
+    "CrashConsistencySimulator",
+    "FaultInjector",
+    "QueryGuard",
+    "RecoveryReport",
 ]

@@ -177,6 +177,29 @@ class QueryError(ReachabilityError, ValueError):
     """A reachability query is malformed (e.g. empty step sequence)."""
 
 
+class QueryBudgetExceeded(ReachabilityError):
+    """A query exhausted its :class:`~repro.reliability.guard.QueryGuard` budget.
+
+    Raised cooperatively from inside the traversal sweep loops when the
+    active guard runs in ``"raise"`` mode (point-shaped queries, where a
+    partial answer would be *wrong* rather than merely incomplete).  Bulk
+    query shapes run the guard in ``"partial"`` mode instead and surface a
+    truncated result with ``partial=True`` — they never raise this.
+    Carries what tripped (``"steps"`` or ``"deadline"``) plus the budget and
+    the amount spent, so callers can distinguish a runaway traversal from a
+    too-tight deadline.
+    """
+
+    def __init__(self, limit: str, budget, spent):
+        super().__init__(
+            f"query budget exceeded: {limit} limit {budget!r} reached "
+            f"after spending {spent!r}"
+        )
+        self.limit = limit
+        self.budget = budget
+        self.spent = spent
+
+
 # ---------------------------------------------------------------------------
 # Storage substrate errors
 # ---------------------------------------------------------------------------

@@ -67,9 +67,11 @@ import mmap
 import os
 import struct
 import sys
+import time
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SnapshotFormatError, SnapshotStaleError
 from repro.graph.compiled import (
@@ -80,7 +82,13 @@ from repro.graph.compiled import (
 )
 from repro.graph.social_graph import SocialGraph
 
-__all__ = ["SnapshotStore", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "SnapshotStore",
+    "SnapshotIOHooks",
+    "RecoveryReport",
+    "save_snapshot",
+    "load_snapshot",
+]
 
 MAGIC = b"REPROSNP"
 FORMAT_VERSION = 1
@@ -100,6 +108,20 @@ def _crc32(data: bytes) -> int:
 def _canonical_ops(ops: Sequence[Sequence[Any]]) -> bytes:
     """The byte string delta checksums are computed over (stable across runs)."""
     return json.dumps(list(ops), separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def _document_crc(base_epoch: int, epoch: int, ops: Sequence[Sequence[Any]]) -> int:
+    """Whole-document delta checksum: covers the epochs, not just the ops.
+
+    ``ops_crc32`` alone leaves the ``base_epoch``/``epoch`` digits
+    unprotected — a single flipped bit there would replay a valid op stream
+    onto the wrong epoch, which is exactly the silent staleness the format
+    promises never to serve.
+    """
+    blob = json.dumps(
+        [base_epoch, epoch, list(ops)], separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    return _crc32(blob)
 
 
 def _require_little_endian(path) -> None:
@@ -179,14 +201,78 @@ class _LazyAttrTable:
         return iter(self._force())
 
 
-def _atomic_write(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` via tmp + fsync + rename (torn-write safe)."""
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(payload)
-        handle.flush()
+class SnapshotIOHooks:
+    """Pluggable seam over the store's file I/O — the fault-injection surface.
+
+    The default implementation just performs the real operation at every
+    point; :class:`repro.reliability.faults.FaultInjector` subclasses it to
+    inject deterministic faults (torn writes, failed fsync, ``ENOSPC``,
+    partial reads, bit flips, simulated crashes).  Injection points, where
+    ``<file>`` is ``base`` (the ``.snap`` file) or ``delta`` (a segment):
+
+    ======================  ====================================================
+    ``<file>.write``        writing the tmp file (torn write / bit flip / ENOSPC)
+    ``<file>.fsync``        fsync of the tmp file (EIO / crash)
+    ``<file>.replace``      just before the atomic ``os.replace``
+    ``<file>.replaced``     just after it — a crash here leaves the new file
+                            visible but later checkpoint steps undone
+    ``<file>.read``         whole-file reads: the header probe, delta segments
+    ``delta.unlink``        just before a segment unlink during a rebase
+    ======================  ====================================================
+
+    The base file's *arrays* region is read through ``mmap`` and has no read
+    hook — a partial read of mmapped data is indistinguishable from on-disk
+    truncation, which the ``<file>.write`` torn-write faults already model.
+    """
+
+    def write_tmp(self, tmp: Path, final: Path, payload: bytes) -> None:
+        """Write ``payload`` to the tmp file, flushed and fsynced."""
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            self.fsync(handle, final)
+
+    def fsync(self, handle, final: Path) -> None:
         os.fsync(handle.fileno())
-    os.replace(tmp, path)
+
+    def before_replace(self, tmp: Path, final: Path) -> None:
+        """Called between the durable tmp write and ``os.replace``."""
+
+    def after_replace(self, final: Path) -> None:
+        """Called after ``os.replace`` made the new contents visible."""
+
+    def after_read(self, path: Path, data: bytes) -> bytes:
+        """Filter whole-file reads (partial read / bit flip injection)."""
+        return data
+
+    def before_unlink(self, path: Path) -> None:
+        """Called before a delta segment is unlinked during a rebase."""
+
+
+_DEFAULT_IO_HOOKS = SnapshotIOHooks()
+
+
+def _atomic_write(
+    path: Path, payload: bytes, hooks: Optional[SnapshotIOHooks] = None
+) -> None:
+    """Write ``payload`` to ``path`` via tmp + fsync + rename (torn-write safe)."""
+    hooks = hooks if hooks is not None else _DEFAULT_IO_HOOKS
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        hooks.write_tmp(tmp, path, payload)
+        hooks.before_replace(tmp, path)
+        os.replace(tmp, path)
+    except Exception:
+        # A *failure* (ENOSPC, failed fsync, replace error) must not leave a
+        # stray tmp file behind.  A *crash* is modelled as a BaseException
+        # and deliberately skips this — crashed writers cannot clean up, so
+        # :class:`SnapshotStore` reaps stale tmp files on open instead.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    hooks.after_replace(path)
 
 
 # ---------------------------------------------------------------------------
@@ -194,7 +280,9 @@ def _atomic_write(path: Path, payload: bytes) -> None:
 # ---------------------------------------------------------------------------
 
 
-def save_snapshot(snapshot: CompiledGraph, path) -> int:
+def save_snapshot(
+    snapshot: CompiledGraph, path, *, io_hooks: Optional[SnapshotIOHooks] = None
+) -> int:
     """Serialize ``snapshot`` to ``path`` atomically; return the bytes written.
 
     Pending overflow side-tables are folded in first (the on-disk CSR is
@@ -274,7 +362,7 @@ def save_snapshot(snapshot: CompiledGraph, path) -> int:
             arrays_blob,
         ]
     )
-    _atomic_write(path, payload)
+    _atomic_write(path, payload, io_hooks)
     return len(payload)
 
 
@@ -302,14 +390,18 @@ def _parse_header(path: Path, data: bytes) -> Tuple[int, int, int, int, int]:
     return epoch, nodes, labels, meta_len, arrays_len
 
 
-def read_snapshot_header(path) -> Dict[str, int]:
+def read_snapshot_header(
+    path, *, io_hooks: Optional[SnapshotIOHooks] = None
+) -> Dict[str, int]:
     """Read and validate just the fixed header (cheap staleness probe)."""
     path = Path(path)
+    hooks = io_hooks if io_hooks is not None else _DEFAULT_IO_HOOKS
     try:
         with open(path, "rb") as handle:
             data = handle.read(_HEADER.size + _CRC.size)
     except OSError:
         raise
+    data = hooks.after_read(path, data)
     epoch, nodes, labels, meta_len, arrays_len = _parse_header(path, data)
     return {
         "epoch": epoch,
@@ -540,7 +632,13 @@ def _enrich_ops(graph: SocialGraph, ops: Sequence[Tuple[Any, ...]]) -> List[List
     return enriched
 
 
-def _write_delta(path: Path, base_epoch: int, epoch: int, ops: List[List[Any]]) -> None:
+def _write_delta(
+    path: Path,
+    base_epoch: int,
+    epoch: int,
+    ops: List[List[Any]],
+    hooks: Optional[SnapshotIOHooks] = None,
+) -> None:
     document = {
         "format": _DELTA_FORMAT,
         "version": FORMAT_VERSION,
@@ -548,13 +646,18 @@ def _write_delta(path: Path, base_epoch: int, epoch: int, ops: List[List[Any]]) 
         "epoch": epoch,
         "ops": ops,
         "ops_crc32": _crc32(_canonical_ops(ops)),
+        "doc_crc32": _document_crc(base_epoch, epoch, ops),
     }
-    _atomic_write(path, json.dumps(document, separators=(",", ":")).encode("utf-8"))
+    _atomic_write(
+        path, json.dumps(document, separators=(",", ":")).encode("utf-8"), hooks
+    )
 
 
-def _read_delta(path: Path) -> Dict[str, Any]:
+def _read_delta(path: Path, hooks: Optional[SnapshotIOHooks] = None) -> Dict[str, Any]:
+    hooks = hooks if hooks is not None else _DEFAULT_IO_HOOKS
     try:
-        document = json.loads(path.read_text(encoding="utf-8"))
+        blob = hooks.after_read(path, path.read_bytes())
+        document = json.loads(blob.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as error:
         raise SnapshotFormatError(path, "json", f"delta segment is not JSON: {error}")
     if not isinstance(document, dict) or document.get("format") != _DELTA_FORMAT:
@@ -571,12 +674,50 @@ def _read_delta(path: Path) -> Dict[str, Any]:
     for key in ("base_epoch", "epoch"):
         if not isinstance(document.get(key), int):
             raise SnapshotFormatError(path, key, "missing or non-integer epoch")
+    if document.get("doc_crc32") != _document_crc(
+        document["base_epoch"], document["epoch"], ops
+    ):
+        raise SnapshotFormatError(
+            path, "doc_crc32", "delta document checksum mismatch"
+        )
     return document
 
 
 # ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`SnapshotStore.fsck` found and did.
+
+    ``healthy`` means the store ended in a servable state: either a clean
+    load succeeds on the (possibly truncated) chain, or the store is empty
+    and a warm start will recompile.  Quarantined files are *renamed*, never
+    deleted — ``<name>.quarantine.<k>`` keeps the evidence for post-mortems
+    while taking it out of the load path.  JSON-friendly via :meth:`to_dict`
+    (the CI fault-injection job uploads it as an artifact).
+    """
+
+    reaped_tmp: Tuple[str, ...]
+    quarantined: Tuple[str, ...]
+    base_quarantined: bool
+    segments_kept: int
+    tip_epoch: Optional[int]
+    healthy: bool
+    actions: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reaped_tmp": list(self.reaped_tmp),
+            "quarantined": list(self.quarantined),
+            "base_quarantined": self.base_quarantined,
+            "segments_kept": self.segments_kept,
+            "tip_epoch": self.tip_epoch,
+            "healthy": self.healthy,
+            "actions": list(self.actions),
+        }
 
 
 class SnapshotStore:
@@ -603,7 +744,17 @@ class SnapshotStore:
     #: Segment count that triggers a rebase on the next checkpoint.
     max_delta_segments = 16
 
-    def __init__(self, path, *, max_delta_segments: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        max_delta_segments: Optional[int] = None,
+        io_hooks: Optional[SnapshotIOHooks] = None,
+        checkpoint_retries: int = 2,
+        retry_backoff_seconds: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+        stale_tmp_seconds: float = 60.0,
+    ) -> None:
         path = Path(path)
         stem = path.name[: -len(".snap")] if path.name.endswith(".snap") else path.name
         self.directory = path.parent
@@ -611,6 +762,18 @@ class SnapshotStore:
         self.base_path = self.directory / f"{stem}.snap"
         if max_delta_segments is not None:
             self.max_delta_segments = max(0, max_delta_segments)
+        self.io_hooks = io_hooks if io_hooks is not None else _DEFAULT_IO_HOOKS
+        self.checkpoint_retries = max(0, checkpoint_retries)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.stale_tmp_seconds = stale_tmp_seconds
+        self._sleep = sleep
+        self.checkpoint_retries_used = 0
+        self.tmp_files_reaped = 0
+        self.last_recovery: Optional[RecoveryReport] = None
+        # Crash hygiene: a writer that died mid-checkpoint cannot clean up
+        # its tmp file; reap stale ones here.  Only *old* tmp files go — a
+        # fresh one may belong to a live writer in another process.
+        self._reap_tmp()
 
     # ------------------------------------------------------------------ paths
 
@@ -630,14 +793,137 @@ class SnapshotStore:
 
     def _clear_deltas(self) -> None:
         for path in self.delta_paths():
+            self.io_hooks.before_unlink(path)
             path.unlink()
+
+    def _tmp_paths(self) -> List[Path]:
+        """Leftover ``*.tmp`` files belonging to this store's stem."""
+        if not self.directory.exists():
+            return []
+        paths = list(self.directory.glob(f"{self.stem}.snap.tmp"))
+        paths.extend(sorted(self.directory.glob(f"{self.stem}.delta.*.tmp")))
+        return paths
+
+    def _reap_tmp(self, *, force: bool = False) -> List[str]:
+        """Unlink orphaned tmp files; return the names removed.
+
+        Without ``force`` only files older than ``stale_tmp_seconds`` go —
+        a fresh tmp may belong to a checkpoint in flight in another serving
+        process, and reaping it would fail that writer's ``os.replace``.
+        :meth:`fsck` forces, because it runs on a store known to be broken.
+        """
+        reaped: List[str] = []
+        now = time.time()
+        for tmp in self._tmp_paths():
+            try:
+                if not force and now - tmp.stat().st_mtime < self.stale_tmp_seconds:
+                    continue
+                tmp.unlink()
+            except OSError:
+                continue
+            reaped.append(tmp.name)
+        self.tmp_files_reaped += len(reaped)
+        return reaped
+
+    def _quarantine(self, path: Path) -> Optional[str]:
+        """Rename ``path`` to ``<name>.quarantine.<k>``; return the new name."""
+        for attempt in range(10000):
+            target = path.with_name(f"{path.name}.quarantine.{attempt}")
+            if target.exists():
+                continue
+            try:
+                os.replace(path, target)
+            except OSError:
+                return None
+            return target.name
+        return None  # pragma: no cover - 10k quarantine collisions
+
+    # ------------------------------------------------------------------- fsck
+
+    def fsck(self, *, verify: bool = True) -> RecoveryReport:
+        """Validate the store and heal it in place; report what was done.
+
+        Reaps every orphaned tmp file, then repeatedly attempts a full
+        standalone load (``verify=True`` checksums the arrays region and
+        attribute table too, catching silent bit flips): each failing pass
+        quarantines the unreadable file the error names — a corrupt base
+        takes the whole chain with it; a corrupt delta segment truncates the
+        chain from that segment on (the contiguous good prefix keeps
+        serving).  Quarantined files are renamed to
+        ``<name>.quarantine.<k>``, never deleted.  The loop ends when a load
+        succeeds, the store is empty, or nothing further can be attributed.
+        """
+        actions: List[str] = []
+        reaped = self._reap_tmp(force=True)
+        actions.extend(f"reaped stale tmp file {name}" for name in reaped)
+        quarantined: List[str] = []
+        base_quarantined = False
+        loaded = False
+        absent = False
+        budget = len(self.delta_paths()) + 2
+        while budget > 0:
+            budget -= 1
+            try:
+                self.load(verify=verify)
+                loaded = True
+                break
+            except FileNotFoundError:
+                absent = True
+                # No base: any segments left are orphans of a dead rebase.
+                for path in self.delta_paths():
+                    name = self._quarantine(path)
+                    if name is not None:
+                        quarantined.append(name)
+                        actions.append(f"quarantined orphaned segment as {name}")
+                break
+            except (SnapshotFormatError, OSError) as error:
+                bad = Path(getattr(error, "path", self.base_path))
+                if bad == self.base_path:
+                    name = self._quarantine(self.base_path)
+                    if name is None:
+                        break
+                    base_quarantined = True
+                    quarantined.append(name)
+                    actions.append(f"quarantined corrupt base as {name} ({error})")
+                    continue
+                chain = self.delta_paths()
+                start = next(
+                    (i for i, path in enumerate(chain) if path == bad), 0
+                )
+                if not chain:
+                    break
+                for path in chain[start:]:
+                    name = self._quarantine(path)
+                    if name is not None:
+                        quarantined.append(name)
+                        actions.append(
+                            f"quarantined delta segment {path.name} as {name} "
+                            f"({error})"
+                        )
+        tip: Optional[int] = None
+        if loaded:
+            try:
+                tip = self.tip_epoch()
+            except (SnapshotFormatError, OSError):  # pragma: no cover
+                tip = None
+        report = RecoveryReport(
+            reaped_tmp=tuple(reaped),
+            quarantined=tuple(quarantined),
+            base_quarantined=base_quarantined,
+            segments_kept=len(self.delta_paths()),
+            tip_epoch=tip,
+            healthy=loaded or absent,
+            actions=tuple(actions),
+        )
+        self.last_recovery = report
+        return report
 
     # ------------------------------------------------------------------- save
 
     def save(self, snapshot: CompiledGraph) -> int:
         """Write ``snapshot`` as a fresh base, dropping every delta segment."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        written = save_snapshot(snapshot, self.base_path)
+        written = save_snapshot(snapshot, self.base_path, io_hooks=self.io_hooks)
         self._clear_deltas()
         return written
 
@@ -650,7 +936,26 @@ class SnapshotStore:
         (user removals ride along — replay tombstones the slot);
         ``"rebase"`` — journal gap uncovered / segment budget exhausted /
         base unreadable: rewrote the base.
+
+        Transient I/O failures (full disk, failed fsync) are retried up to
+        ``checkpoint_retries`` times with deterministic exponential backoff
+        — each attempt restarts from a consistent on-disk state because
+        every write is atomic (tmp + fsync + ``os.replace``).  The final
+        failure propagates as the original :class:`OSError`.
         """
+        attempts = self.checkpoint_retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                self.checkpoint_retries_used += 1
+                self._sleep(self.retry_backoff_seconds * (2 ** (attempt - 1)))
+            try:
+                return self._checkpoint_once(graph)
+            except OSError:
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _checkpoint_once(self, graph: SocialGraph) -> str:
         snapshot = compile_graph(graph)
         if not self.base_path.exists():
             self.save(snapshot)
@@ -668,7 +973,11 @@ class SnapshotStore:
             self.save(snapshot)
             return "rebase"
         _write_delta(
-            self.delta_path(len(segments)), tip, graph.epoch, _enrich_ops(graph, ops)
+            self.delta_path(len(segments)),
+            tip,
+            graph.epoch,
+            _enrich_ops(graph, ops),
+            self.io_hooks,
         )
         return "delta"
 
@@ -686,7 +995,7 @@ class SnapshotStore:
         """
         snapshot = load_snapshot(self.base_path, graph=None, verify=verify)
         for path in self.delta_paths():
-            document = _read_delta(path)
+            document = _read_delta(path, self.io_hooks)
             if document["base_epoch"] != snapshot.epoch:
                 raise SnapshotFormatError(
                     path,
@@ -706,11 +1015,14 @@ class SnapshotStore:
     def load_or_compile(
         self, graph: SocialGraph
     ) -> Tuple[CompiledGraph, str]:
-        """Warm-start: adopt the persisted snapshot or recompile and rewrite.
+        """Warm-start: adopt the persisted snapshot, self-heal, or recompile.
 
         Returns ``(snapshot, source)`` with ``source`` one of ``"mapped"``
-        (persisted state adopted zero-copy), ``"absent"``, ``"stale"`` or
-        ``"corrupt"`` (each followed by a recompile that rewrote the store).
+        (persisted state adopted zero-copy), ``"healed"`` (an unreadable
+        file made :meth:`fsck` quarantine the corrupt suffix and the
+        surviving prefix — plus any journal replay — served the load),
+        ``"absent"``, ``"stale"`` or ``"corrupt"`` (each followed by a
+        recompile that rewrote the store).
         """
         try:
             return self.load(graph), "mapped"
@@ -720,6 +1032,16 @@ class SnapshotStore:
             source = "stale"
         except (SnapshotFormatError, OSError):
             source = "corrupt"
+            report = self.fsck()
+            if report.quarantined or report.reaped_tmp:
+                try:
+                    return self.load(graph), "healed"
+                except FileNotFoundError:
+                    source = "corrupt"
+                except SnapshotStaleError:
+                    source = "stale"
+                except (SnapshotFormatError, OSError):
+                    source = "corrupt"
         snapshot = compile_graph(graph)
         self.save(snapshot)
         return snapshot, source
@@ -730,9 +1052,9 @@ class SnapshotStore:
         """The epoch the store would load at, or ``None`` with no base."""
         if not self.base_path.exists():
             return None
-        epoch = read_snapshot_header(self.base_path)["epoch"]
+        epoch = read_snapshot_header(self.base_path, io_hooks=self.io_hooks)["epoch"]
         for path in self.delta_paths():
-            document = _read_delta(path)
+            document = _read_delta(path, self.io_hooks)
             if document["base_epoch"] != epoch:
                 break  # orphaned segment from a torn checkpoint: ignore tail
             epoch = document["epoch"]
@@ -747,6 +1069,11 @@ class SnapshotStore:
             epoch: Optional[int] = self.tip_epoch()
         except SnapshotFormatError:
             epoch = None
+        quarantine_files = (
+            len(list(self.directory.glob(f"{self.stem}.*quarantine.*")))
+            if self.directory.exists()
+            else 0
+        )
         return {
             "path": str(self.base_path),
             "exists": self.base_path.exists(),
@@ -755,6 +1082,10 @@ class SnapshotStore:
             "disk_bytes": base_bytes + delta_bytes,
             "delta_segments": len(segments),
             "epoch": epoch,
+            "tmp_files": len(self._tmp_paths()),
+            "quarantine_files": quarantine_files,
+            "checkpoint_retries_used": self.checkpoint_retries_used,
+            "tmp_files_reaped": self.tmp_files_reaped,
         }
 
     def __repr__(self) -> str:

@@ -65,6 +65,7 @@ from repro.reachability.query import (
     expand_line_queries,
 )
 from repro.reachability.result import EvaluationResult
+from repro.reliability.guard import active_guard
 
 __all__ = ["ClusterIndexEvaluator"]
 
@@ -507,13 +508,21 @@ class ClusterIndexEvaluator(SweepPlanSideChannel):
         # the adjacency check of Section 3.4 (the tuple must describe one
         # path) is the frontier extension itself, and tails are deduplicated
         # per position with a byte seen-set.
+        guard = active_guard()
         for position in range(1, last + 1):
             seen = bytearray(index.count)
             next_frontier: List[int] = []
             layer_parents: Optional[Dict[int, int]] = {} if parents is not None else None
             for tail in frontier:
                 head = ends[tail]
-                for cursor in range(start_offsets[head], start_offsets[head + 1]):
+                row_start = start_offsets[head]
+                row_end = start_offsets[head + 1]
+                if guard is not None and not guard.spend(1 + row_end - row_start):
+                    # Partial mode: stop matching; an under-approximated
+                    # answer (no chain / fewer tails) is the documented
+                    # degraded result for guarded bulk shapes.
+                    return None if first_only else []
+                for cursor in range(row_start, row_end):
                     successor = start_vertices[cursor]
                     result.count("tuples_examined")
                     result.count("join_checks")

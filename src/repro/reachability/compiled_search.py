@@ -43,6 +43,7 @@ from repro.graph.social_graph import UserId
 from repro.policy.path_expression import PathExpression
 from repro.policy.steps import Direction, Step
 from repro.reachability.result import EvaluationResult
+from repro.reliability.guard import active_guard
 
 __all__ = [
     "CompiledAutomaton",
@@ -394,6 +395,12 @@ def product_search(
     ``find_targets`` form).  Counters mirror the legacy dict-based search:
     one ``states_visited`` per product state discovered, one
     ``edges_expanded`` per CSR entry scanned.
+
+    An active :class:`~repro.reliability.guard.QueryGuard` is ticked once
+    per popped frontier entry, charged with the edges scanned since the
+    previous tick — a blown budget either raises (``"raise"`` mode) or ends
+    the walk early (``"partial"`` mode; the under-approximated outcome is
+    only surfaced through result shapes that carry a ``partial`` flag).
     """
     num_states = automaton.num_states
     accept_id = automaton.accept_id
@@ -421,10 +428,16 @@ def product_search(
             if state == accept_id and source not in accepted:
                 accepted[source] = key if collect_witness else None
 
+    guard = active_guard()
+    charged = 0
     pop = frontier.pop if depth_first else frontier.popleft
     while frontier:
         if stop_at is not None and stop_at in accepted:
             break
+        if guard is not None:
+            if not guard.spend(1 + edges_expanded - charged):
+                break
+            charged = edges_expanded
         key = pop()
         node, state = divmod(key, num_states)
         if not can_more[state]:
@@ -510,8 +523,17 @@ def audience_sweep_batched(
     state_moves = _hoisted_state_moves(snapshot, automaton)
     static_closure = automaton.static_closures()
 
+    guard = active_guard()
+    tripped = False
+    scanned = 0
+    charged = 0
     audiences: List[List[int]] = []
     for source in sources:
+        if tripped:
+            # Budget blown on an earlier owner: remaining owners get empty
+            # audiences; the caller surfaces the whole sweep as partial.
+            audiences.append([])
+            continue
         visited = bytearray(node_count * num_states)
         is_accepted = bytearray(node_count)
         accepted: List[int] = []
@@ -525,6 +547,11 @@ def audience_sweep_batched(
                     is_accepted[source] = 1
                     accepted.append(source)
         while frontier:
+            if guard is not None:
+                if not guard.spend(1 + scanned - charged):
+                    tripped = True
+                    break
+                charged = scanned
             key = frontier.pop()
             node, state = divmod(key, num_states)
             moves = state_moves[state]
@@ -533,7 +560,9 @@ def audience_sweep_batched(
             next_state = state + 1
             next_static = static_closure[next_state]
             for offsets, targets in moves:
-                for position in range(offsets[node], offsets[node + 1]):
+                row_end = offsets[node + 1]
+                scanned += row_end - offsets[node]
+                for position in range(offsets[node], row_end):
                     neighbor = targets[position]
                     base = neighbor * num_states
                     chain = next_static if next_static is not None else closure(
@@ -797,8 +826,15 @@ def _multisource_mask_sweep(
                     queue.append(key)
                 pending[key] |= add
 
+    guard = active_guard()
+    scanned = 0
+    charged = 0
     head = 0
     while head < len(queue):
+        if guard is not None:
+            if not guard.spend(1 + scanned - charged):
+                break
+            charged = scanned
         key = queue[head]
         head += 1
         delta = pending[key]
@@ -814,7 +850,9 @@ def _multisource_mask_sweep(
         for offsets, targets in moves:
             # Slicing the CSR row and iterating the array directly saves an
             # index lookup per edge — this loop is the sweep's entire cost.
-            for neighbor in targets[offsets[node]:offsets[node + 1]]:
+            row = targets[offsets[node]:offsets[node + 1]]
+            scanned += len(row)
+            for neighbor in row:
                 base = neighbor * num_states
                 if next_static is not None:
                     chain = next_static
@@ -925,20 +963,31 @@ def _sweep_reverse(
 
 
 class AudienceSweep:
-    """Result of one audience sweep: per-owner audiences plus the plan run."""
+    """Result of one audience sweep: per-owner audiences plus the plan run.
 
-    __slots__ = ("audiences", "plan")
+    ``partial`` is ``True`` when an active query guard ran out of budget
+    mid-sweep: the audiences are a correct *under*-approximation (every
+    listed member is genuinely reachable) but owners past the trip point may
+    be missing members entirely.  Partial sweeps are never cached.
+    """
 
-    def __init__(self, audiences: List[List[int]], plan: SweepPlan) -> None:
+    __slots__ = ("audiences", "plan", "partial")
+
+    def __init__(
+        self, audiences: List[List[int]], plan: SweepPlan, partial: bool = False
+    ) -> None:
         self.audiences = audiences
         self.plan = plan
+        self.partial = partial
 
     def __iter__(self) -> Iterable[List[int]]:
         return iter(self.audiences)
 
     def __repr__(self) -> str:
+        flag = " partial" if self.partial else ""
         return (
-            f"<AudienceSweep {len(self.audiences)} owners via {self.plan.direction}>"
+            f"<AudienceSweep {len(self.audiences)} owners via "
+            f"{self.plan.direction}{flag}>"
         )
 
 
@@ -973,4 +1022,6 @@ def audience_sweep(
         audiences = _sweep_reverse(snapshot, automaton, sources)
     else:
         audiences = _sweep_forward(snapshot, automaton, sources)
-    return AudienceSweep(audiences, plan)
+    guard = active_guard()
+    partial = bool(guard is not None and guard.tripped)
+    return AudienceSweep(audiences, plan, partial)

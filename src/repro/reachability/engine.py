@@ -67,6 +67,7 @@ from repro.reachability.compiled_search import SWEEP_DIRECTIONS, SweepPlan
 from repro.reachability.dfs import OnlineDFSEvaluator
 from repro.reachability.result import EvaluationResult
 from repro.reachability.transitive_closure import TransitiveClosureEvaluator
+from repro.reliability.guard import active_guard
 
 __all__ = [
     "BACKENDS",
@@ -208,6 +209,13 @@ class ReachabilityEngine:
         return True
 
     def _cache_put(self, cache: OrderedDict, key: Tuple, value) -> None:
+        # A query that blew its guard budget produced an under-approximated
+        # answer — correct to degrade with, poison if memoized: the memo
+        # outlives the guard scope and would serve the truncated result to
+        # later unguarded queries at the same epoch.
+        guard = active_guard()
+        if guard is not None and guard.tripped:
+            return
         cache[key] = value
         if len(cache) > self._cache_size:
             cache.popitem(last=False)

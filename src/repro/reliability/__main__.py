@@ -1,0 +1,8 @@
+"""``python -m repro.reliability`` runs the crash-consistency simulator."""
+
+import sys
+
+from repro.reliability.crashsim import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""A circuit breaker for expensive index maintenance (build / refresh).
+
+The cluster index and the transitive closure are *optional* accelerators:
+every query they serve can also be answered by the compiled walk, just
+slower.  When index maintenance starts failing — an allocation blowing up on
+a pathological graph, a bug tripping on some input, maintenance repeatedly
+exceeding its time budget — the correct degraded behaviour is to stop
+paying for it and serve via the walk, not to fail queries.
+
+Classic three-state breaker semantics:
+
+* **closed** — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker;
+* **open** — the backend is priced out: the planner marks it unavailable
+  (``available=False``, note ``"circuit breaker open"``) so auto plans route
+  to a walking backend.  After ``cooldown_seconds`` the breaker becomes
+  half-open;
+* **half-open** — exactly one probe is allowed through; success closes the
+  breaker, failure reopens it (and restarts the cooldown).
+
+A build that *succeeds* but takes longer than ``slow_threshold_seconds``
+counts as a failure — a timeout by outcome rather than by interruption,
+since Python offers no safe preemption of a compute-bound build.  The clock
+is injectable so tests (and the deterministic simulator) drive state
+transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover through half-open probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        slow_threshold_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self._clock = clock
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.consecutive_failures = 0
+        self.trip_count = 0
+        self.last_failure: Optional[str] = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (cooldown elapsed)."""
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown_seconds:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    @property
+    def blocking(self) -> bool:
+        """Should the planner price this backend out right now?
+
+        ``True`` while open, and *also* while half-open once the single
+        probe slot is taken — exactly one caller gets to test the backend;
+        everyone else keeps degrading until the probe settles.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return False
+        if state == self.OPEN:
+            return True
+        return self._probing
+
+    def allow_probe(self) -> bool:
+        """Claim the half-open probe slot (closed state always allows)."""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    # ---------------------------------------------------------------- outcome
+
+    def record_success(self, *, duration: Optional[float] = None) -> None:
+        """A maintenance run completed — slow success still counts against us."""
+        if (
+            duration is not None
+            and self.slow_threshold_seconds is not None
+            and duration > self.slow_threshold_seconds
+        ):
+            self.record_failure(
+                reason=f"slow build: {duration:.3f}s > {self.slow_threshold_seconds}s"
+            )
+            return
+        self._opened_at = None
+        self._probing = False
+        self.consecutive_failures = 0
+
+    def record_failure(self, *, reason: str = "build failed") -> None:
+        self.consecutive_failures += 1
+        self.last_failure = reason
+        self._probing = False
+        if self._opened_at is not None:
+            # Half-open probe failed: reopen and restart the cooldown.
+            self._opened_at = self._clock()
+            self.trip_count += 1
+        elif self.consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self.trip_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.state} failures={self.consecutive_failures}"
+            f"/{self.failure_threshold} trips={self.trip_count}>"
+        )

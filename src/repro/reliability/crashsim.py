@@ -1,0 +1,437 @@
+"""Crash-consistency simulator for :meth:`SnapshotStore.checkpoint`.
+
+The atomicity claim of the persistence layer is: *whatever instant the
+process dies during a checkpoint, a restart recovers to exactly the
+pre-checkpoint or post-checkpoint snapshot — never a corrupt file served,
+never a silently stale one.*  This module turns that claim into an
+exhaustive, deterministic experiment:
+
+1. **Discover** the injection points of a checkpoint shape by dry-running it
+   with an un-armed :class:`FaultInjector` and reading its trace.  Three
+   shapes are exercised — ``base`` (first checkpoint writes the base),
+   ``delta`` (a journal burst appends a segment) and ``rebase`` (segment
+   budget exhausted: base rewrite + segment unlink).
+2. **Enumerate** every (point, occurrence) × applicable-fault-kind pair.
+3. For each case, rebuild the same graph from the seed, arm exactly that
+   fault, run ``checkpoint()`` and catch the simulated death.
+4. **Recover** as a fresh process would: open a new store (reap + fsck),
+   and assert that (a) a standalone ``load()`` yields exactly the pre- or
+   post-checkpoint state (or nothing at all — "absent" is safe, wrong is
+   not), and (b) ``load_or_compile()`` with the rebuilt live graph lands on
+   the post-checkpoint state, rewriting the store when needed.
+
+Run it from the command line (CI does, with a fixed seed set)::
+
+    python -m repro.reliability.crashsim --seeds 0,1,2 --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.snapshot import SnapshotStore
+from repro.graph.social_graph import SocialGraph
+from repro.reliability.faults import KINDS_BY_STAGE, FaultInjector, SimulatedCrash
+
+__all__ = [
+    "CrashConsistencySimulator",
+    "CrashOutcome",
+    "CrashReport",
+    "SCENARIOS",
+    "snapshot_fingerprint",
+]
+
+#: Checkpoint shapes the simulator exercises.
+SCENARIOS = ("base", "delta", "rebase")
+
+_NO_SLEEP = lambda seconds: None  # noqa: E731 - retry backoff is pointless here
+
+
+def snapshot_fingerprint(snapshot: CompiledGraph) -> Dict[str, Any]:
+    """A structural digest of a compiled graph, comparable with ``==``.
+
+    Captures live users, every labelled edge and the attribute table —
+    enough that two snapshots with equal fingerprints answer every
+    reachability query identically.
+    """
+    dead = snapshot.dead_slots
+    users = sorted(
+        repr(user) for index, user in enumerate(snapshot.node_ids) if index not in dead
+    )
+    edges: List[Tuple[str, str, str]] = []
+    for label_id, label in enumerate(snapshot.labels):
+        offsets, targets = snapshot.forward(label_id)
+        for node in range(len(snapshot.node_ids)):
+            if node in dead:
+                continue
+            for position in range(offsets[node], offsets[node + 1]):
+                edges.append(
+                    (repr(snapshot.node_ids[node]), label, repr(snapshot.node_ids[targets[position]]))
+                )
+    attrs = {
+        repr(user): dict(snapshot.attrs[index])
+        for index, user in enumerate(snapshot.node_ids)
+        if index not in dead
+    }
+    return {"users": users, "edges": sorted(edges), "attrs": attrs}
+
+
+def default_graph(seed: int = 0) -> SocialGraph:
+    """A small deterministic social graph (friend/follows/blocked edges)."""
+    graph = SocialGraph(f"crashsim-{seed}")
+    users = [f"u{i}" for i in range(24)]
+    for index, user in enumerate(users):
+        graph.add_user(user, age=20 + (index * 7 + seed) % 40, tier=index % 3)
+    for index in range(len(users)):
+        graph.add_relationship(users[index], users[(index + 1) % len(users)], "friend")
+        if index % 2 == 0:
+            graph.add_relationship(users[index], users[(index + 5) % len(users)], "follows")
+        if index % 5 == 0:
+            graph.add_relationship(users[index], users[(index + 3) % len(users)], "blocked")
+    return graph
+
+
+def default_mutation(graph: SocialGraph, seed: int = 0) -> None:
+    """A deterministic journal burst: adds, updates, edge churn, a removal."""
+    users = sorted(graph.users())
+    graph.add_user(f"new-{seed}", age=99, tier=9)
+    graph.add_relationship(f"new-{seed}", users[0], "friend")
+    graph.add_relationship(users[1], f"new-{seed}", "follows")
+    graph.update_user(users[2], age=77)
+    graph.remove_relationship(users[0], users[1], "friend")
+    graph.add_relationship(users[0], users[2], "friend")
+    graph.remove_user(users[3])
+
+
+@dataclass
+class CrashOutcome:
+    """What one (scenario, point, occurrence, kind) case did and recovered to."""
+
+    scenario: str
+    point: str
+    occurrence: int
+    kind: str
+    died: Optional[str]
+    checkpoint_result: Optional[str]
+    standalone_state: str
+    recovery_source: str
+    quarantined: Tuple[str, ...]
+    reaped_tmp: Tuple[str, ...]
+    ok: bool
+    notes: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "point": self.point,
+            "occurrence": self.occurrence,
+            "kind": self.kind,
+            "died": self.died,
+            "checkpoint_result": self.checkpoint_result,
+            "standalone_state": self.standalone_state,
+            "recovery_source": self.recovery_source,
+            "quarantined": list(self.quarantined),
+            "reaped_tmp": list(self.reaped_tmp),
+            "ok": self.ok,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class CrashReport:
+    """All outcomes of one simulator run (JSON-friendly, uploaded by CI)."""
+
+    seed: int
+    outcomes: List[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def failures(self) -> List[CrashOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def points_covered(self) -> Dict[str, int]:
+        covered: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            covered[outcome.point] = covered.get(outcome.point, 0) + 1
+        return covered
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cases": len(self.outcomes),
+            "passed": self.passed,
+            "failures": [outcome.to_dict() for outcome in self.failures()],
+            "points_covered": self.points_covered(),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+class CrashConsistencySimulator:
+    """Kill ``checkpoint()`` at every injection point; assert safe recovery."""
+
+    def __init__(
+        self,
+        directory,
+        *,
+        seed: int = 0,
+        scenarios: Sequence[str] = SCENARIOS,
+        kinds: Optional[Sequence[str]] = None,
+        graph_factory: Callable[[int], SocialGraph] = default_graph,
+        mutator: Callable[[SocialGraph, int], None] = default_mutation,
+    ) -> None:
+        self.directory = Path(directory)
+        self.seed = seed
+        self.scenarios = tuple(scenarios)
+        self.kinds = tuple(kinds) if kinds is not None else None
+        self.graph_factory = graph_factory
+        self.mutator = mutator
+        unknown = set(self.scenarios) - set(SCENARIOS)
+        if unknown:
+            raise ValueError(f"unknown scenarios {sorted(unknown)!r}")
+
+    # ---------------------------------------------------------------- scaffold
+
+    def _open_store(self, root: Path, injector: Optional[FaultInjector]) -> SnapshotStore:
+        # ``rebase`` keeps one segment so the rebase epilogue has a segment
+        # to unlink — that is where the ``delta.unlink`` point lives.
+        max_segments = 1 if self._scenario == "rebase" else None
+        return SnapshotStore(
+            root / "graph.snap",
+            io_hooks=injector,
+            max_delta_segments=max_segments,
+            sleep=_NO_SLEEP,
+        )
+
+    def _prepare(
+        self, root: Path, injector: Optional[FaultInjector]
+    ) -> Tuple[SocialGraph, SnapshotStore, Optional[Dict[str, Any]], Optional[int]]:
+        """Build the scenario's starting disk state; return pre-state info.
+
+        After this, calling ``store.checkpoint(graph)`` performs exactly the
+        checkpoint shape under test (base write, delta append, or rebase).
+        """
+        graph = self.graph_factory(self.seed)
+        store = self._open_store(root, injector)
+        pre_state: Optional[Dict[str, Any]] = None
+        pre_epoch: Optional[int] = None
+        if self._scenario != "base":
+            store.checkpoint(graph)  # clean base
+            if self._scenario == "rebase":
+                # One delta segment on disk; the next burst exhausts the
+                # budget (max_delta_segments=1) and forces a rebase.
+                self.mutator(graph, self.seed)
+                store.checkpoint(graph)
+            pre_state = snapshot_fingerprint(compile_graph(graph))
+            pre_epoch = graph.epoch
+            self.mutator(graph, self.seed + 1)
+        return graph, store, pre_state, pre_epoch
+
+    def _rebuild_graph(self) -> SocialGraph:
+        """The same live graph the dead process had, rebuilt from the seed."""
+        graph = self.graph_factory(self.seed)
+        if self._scenario != "base":
+            if self._scenario == "rebase":
+                self.mutator(graph, self.seed)
+            self.mutator(graph, self.seed + 1)
+        return graph
+
+    def _discover(self, root: Path) -> List[Tuple[str, int]]:
+        """Dry-run the scenario; return its (point, occurrence) pairs."""
+        injector = FaultInjector(seed=self.seed)
+        graph, store, _, _ = self._prepare(root, injector)
+        injector.trace.clear()  # only the checkpoint under test counts
+        store.checkpoint(graph)
+        pairs: List[Tuple[str, int]] = []
+        seen: Dict[str, int] = {}
+        for point in injector.trace:
+            occurrence = seen.get(point, 0)
+            seen[point] = occurrence + 1
+            pairs.append((point, occurrence))
+        return pairs
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> CrashReport:
+        report = CrashReport(seed=self.seed)
+        case = 0
+        for scenario in self.scenarios:
+            self._scenario = scenario
+            discovery_root = self.directory / f"{scenario}-discovery"
+            discovery_root.mkdir(parents=True, exist_ok=True)
+            for point, occurrence in self._discover(discovery_root):
+                stage = point.rsplit(".", 1)[-1]
+                for kind in KINDS_BY_STAGE[stage]:
+                    if self.kinds is not None and kind not in self.kinds:
+                        continue
+                    case += 1
+                    root = self.directory / f"case-{case:04d}"
+                    root.mkdir(parents=True, exist_ok=True)
+                    report.outcomes.append(
+                        self._run_case(root, scenario, point, occurrence, kind)
+                    )
+        return report
+
+    def _run_case(
+        self, root: Path, scenario: str, point: str, occurrence: int, kind: str
+    ) -> CrashOutcome:
+        self._scenario = scenario
+        notes: List[str] = []
+        injector = FaultInjector(seed=self.seed)
+        graph, store, pre_state, pre_epoch = self._prepare(root, injector)
+        post_state = snapshot_fingerprint(compile_graph(graph))
+        post_epoch = graph.epoch
+        injector.arm(point, kind, skip=occurrence)
+
+        died: Optional[str] = None
+        checkpoint_result: Optional[str] = None
+        try:
+            checkpoint_result = store.checkpoint(graph)
+        except SimulatedCrash as crash:
+            died = f"crash:{crash}"
+        except OSError as error:
+            died = f"oserror:{getattr(error, 'errno', None)}:{error}"
+        if injector.pending():
+            notes.append(f"armed fault at {point} never fired")
+
+        # ---- restart: a fresh process opens the store (no faulty hooks).
+        recovered = SnapshotStore(root / "graph.snap", sleep=_NO_SLEEP)
+        fsck_report = recovered.fsck()
+
+        ok = True
+        standalone = "absent"
+        try:
+            loaded = recovered.load(verify=True)
+        except FileNotFoundError:
+            loaded = None
+        except Exception as error:  # noqa: BLE001 - any error after fsck is a bug
+            loaded = None
+            standalone = f"unloadable:{type(error).__name__}"
+            ok = False
+            notes.append(f"load after fsck raised {error!r}")
+        if loaded is not None:
+            state = snapshot_fingerprint(loaded)
+            if state == post_state and loaded.epoch == post_epoch:
+                standalone = "post"
+            elif (
+                pre_state is not None
+                and state == pre_state
+                and loaded.epoch == pre_epoch
+            ):
+                standalone = "pre"
+            else:
+                standalone = "divergent"
+                ok = False
+                notes.append(
+                    "standalone load is neither the pre- nor the "
+                    f"post-checkpoint state (epoch {loaded.epoch})"
+                )
+
+        # ---- live warm start must land exactly on the post state.
+        live_graph = self._rebuild_graph()
+        snapshot, source = recovered.load_or_compile(live_graph)
+        if snapshot_fingerprint(snapshot) != post_state or snapshot.epoch != post_epoch:
+            ok = False
+            notes.append(f"load_or_compile (source={source!r}) diverged from post state")
+
+        # ---- and leave the store itself consistent for the next cycle.
+        # A fallback recompile rewrites the store at the post epoch; a
+        # "mapped"/"healed" adoption may legitimately leave the *disk* tip at
+        # the pre epoch (the journal replay that bridged the gap lives in
+        # memory until the next checkpoint).  Anything else is corruption.
+        try:
+            tip = recovered.tip_epoch()
+            if tip != post_epoch and not (pre_epoch is not None and tip == pre_epoch):
+                ok = False
+                notes.append(
+                    f"store tip {tip!r} is neither the pre- nor the "
+                    "post-checkpoint epoch after recovery"
+                )
+        except Exception as error:  # noqa: BLE001
+            ok = False
+            notes.append(f"tip_epoch after recovery raised {error!r}")
+
+        quarantined = tuple(fsck_report.quarantined)
+        reaped = tuple(fsck_report.reaped_tmp)
+        return CrashOutcome(
+            scenario=scenario,
+            point=point,
+            occurrence=occurrence,
+            kind=kind,
+            died=died,
+            checkpoint_result=checkpoint_result,
+            standalone_state=standalone,
+            recovery_source=source,
+            quarantined=quarantined,
+            reaped_tmp=reaped,
+            ok=ok,
+            notes=tuple(notes),
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the snapshot crash-consistency simulator."
+    )
+    parser.add_argument(
+        "--seeds", default="0", help="comma-separated seed list (default: 0)"
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(SCENARIOS),
+        help=f"comma-separated subset of {SCENARIOS}",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    options = parser.parse_args(argv)
+    seeds = [int(token) for token in options.seeds.split(",") if token.strip()]
+    scenarios = [token for token in options.scenarios.split(",") if token.strip()]
+
+    reports = []
+    for seed in seeds:
+        with tempfile.TemporaryDirectory(prefix="repro-crashsim-") as scratch:
+            simulator = CrashConsistencySimulator(
+                scratch, seed=seed, scenarios=scenarios
+            )
+            report = simulator.run()
+        reports.append(report)
+        covered = report.points_covered()
+        print(
+            f"seed {seed}: {len(report.outcomes)} cases over "
+            f"{len(covered)} injection points -> "
+            f"{'PASS' if report.passed else 'FAIL'}"
+        )
+        for failure in report.failures():
+            print(
+                f"  FAIL {failure.scenario}/{failure.point}"
+                f"#{failure.occurrence} x {failure.kind}: {'; '.join(failure.notes)}"
+            )
+
+    if options.out:
+        out_path = Path(options.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(
+                {
+                    "seeds": seeds,
+                    "passed": all(report.passed for report in reports),
+                    "reports": [report.to_dict() for report in reports],
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        print(f"report written to {out_path}")
+    return 0 if all(report.passed for report in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Deterministic fault injection for the snapshot persistence layer.
+
+:class:`FaultInjector` is a :class:`~repro.graph.snapshot.SnapshotIOHooks`
+implementation that turns the store's I/O seam into a fault surface.  Arm a
+fault at a named injection point and the injector fires it on the chosen
+occurrence, deterministically — the only randomness is a seeded
+:class:`random.Random` used when a torn-write offset or bit-flip position is
+not given explicitly.
+
+Injection points are ``<file>.<stage>`` where ``<file>`` is ``base`` (the
+``.snap`` file) or ``delta`` (a segment), and ``<stage>`` is one of
+``write`` / ``fsync`` / ``replace`` / ``replaced`` / ``read`` / ``unlink``
+(see :class:`SnapshotIOHooks` for where each fires).  Fault kinds:
+
+======================  =====================================================
+``crash``               raise :class:`SimulatedCrash` — process death.  Valid
+                        at every point.
+``torn_write``          persist only the first *k* bytes of the tmp file,
+                        then crash (the classic torn write).  ``write`` only.
+``bit_flip``            flip one bit and complete *successfully* — silent
+                        media corruption that only checksums can catch.
+                        ``write`` and ``read``.
+``enospc``              raise ``OSError(ENOSPC)`` — disk full.  ``write``.
+``fsync_fail``          raise ``OSError(EIO)`` from fsync.  ``fsync``.
+``partial_read``        return a truncated buffer from a whole-file read.
+                        ``read``.
+======================  =====================================================
+
+:class:`SimulatedCrash` derives from :class:`BaseException`, **not**
+:class:`Exception`: a real crash gives the writer no chance to run cleanup
+handlers, so the injected one must skip ``except Exception`` cleanup (e.g.
+the tmp-file unlink in ``_atomic_write``) and ``except OSError`` retry loops
+exactly like ``kill -9`` would.  The tmp files it strands are what the
+store's reap-on-open hygiene exists for.
+
+The injector also keeps an append-only ``trace`` of every point it passed
+through, so the crash-consistency simulator can *discover* the injection
+points of a given checkpoint shape by dry-running it once, then enumerate
+the full point × kind matrix.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.snapshot import SnapshotIOHooks
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "SimulatedCrash"]
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "crash",
+    "torn_write",
+    "bit_flip",
+    "enospc",
+    "fsync_fail",
+    "partial_read",
+)
+
+#: Which kinds are meaningful at which injection stage.
+KINDS_BY_STAGE: Dict[str, Tuple[str, ...]] = {
+    "write": ("crash", "torn_write", "bit_flip", "enospc"),
+    "fsync": ("crash", "fsync_fail"),
+    "replace": ("crash",),
+    "replaced": ("crash",),
+    "read": ("crash", "partial_read", "bit_flip"),
+    "unlink": ("crash",),
+}
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' at an injection point.
+
+    A :class:`BaseException` on purpose: crash semantics mean no cleanup
+    handlers run — ``except Exception`` blocks (tmp unlink) and ``except
+    OSError`` retry loops must not see it.  Only the test/simulator harness
+    that armed the fault catches it.
+    """
+
+    def __init__(self, point: str, detail: str = ""):
+        super().__init__(f"simulated crash at {point}" + (f": {detail}" if detail else ""))
+        self.point = point
+        self.detail = detail
+
+
+@dataclass
+class _ArmedFault:
+    point: str
+    kind: str
+    offset: Optional[int] = None
+    skip: int = 0
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (kept in :attr:`FaultInjector.events`)."""
+
+    point: str
+    kind: str
+    detail: str
+
+
+class FaultInjector(SnapshotIOHooks):
+    """Seeded, deterministic fault injection over the snapshot I/O seam."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._armed: List[_ArmedFault] = []
+        self.events: List[FaultEvent] = []
+        self.trace: List[str] = []
+
+    # ------------------------------------------------------------------ armer
+
+    def arm(
+        self,
+        point: str,
+        kind: str,
+        *,
+        offset: Optional[int] = None,
+        skip: int = 0,
+        count: int = 1,
+    ) -> "FaultInjector":
+        """Arm ``kind`` at ``point``; fires on occurrence ``skip`` (0-based).
+
+        ``count`` repeats the fault on consecutive occurrences after the
+        skip — e.g. ``count=2`` makes the first retry fail too.  ``offset``
+        pins the torn-write / bit-flip / partial-read byte position;
+        without it the seeded RNG picks one.  Returns ``self`` for chaining.
+        """
+        stage = point.rsplit(".", 1)[-1]
+        valid = KINDS_BY_STAGE.get(stage)
+        if valid is None:
+            raise ValueError(f"unknown injection point {point!r}")
+        if kind not in valid:
+            raise ValueError(f"fault kind {kind!r} is not valid at {point!r}")
+        self._armed.append(
+            _ArmedFault(point=point, kind=kind, offset=offset, skip=skip, count=count)
+        )
+        return self
+
+    def pending(self) -> int:
+        """Armed faults that have not fully fired yet."""
+        return sum(1 for fault in self._armed if fault.count > 0)
+
+    # --------------------------------------------------------------- plumbing
+
+    @staticmethod
+    def _file_kind(path: Path) -> str:
+        return "base" if path.name.endswith(".snap") else "delta"
+
+    def _visit(self, point: str) -> Optional[_ArmedFault]:
+        """Record the point in the trace; return a fault due to fire there."""
+        self.trace.append(point)
+        for fault in self._armed:
+            if fault.point != point or fault.count <= 0:
+                continue
+            if fault.skip > 0:
+                fault.skip -= 1
+                continue
+            fault.count -= 1
+            return fault
+        return None
+
+    def _fire(self, fault: _ArmedFault, detail: str = "") -> None:
+        self.events.append(FaultEvent(fault.point, fault.kind, detail))
+
+    def _flip_bit(self, payload: bytes, offset: Optional[int]) -> Tuple[bytes, int]:
+        if not payload:
+            return payload, 0
+        position = (
+            offset if offset is not None else self._random.randrange(len(payload))
+        )
+        position = min(position, len(payload) - 1)
+        mutated = bytearray(payload)
+        mutated[position] ^= 1 << self._random.randrange(8)
+        return bytes(mutated), position
+
+    # ------------------------------------------------------------- seam hooks
+
+    def write_tmp(self, tmp: Path, final: Path, payload: bytes) -> None:
+        kind = self._file_kind(final)
+        fault = self._visit(f"{kind}.write")
+        torn_at: Optional[int] = None
+        if fault is not None:
+            if fault.kind == "crash":
+                self._fire(fault)
+                raise SimulatedCrash(fault.point, "before the tmp write")
+            if fault.kind == "enospc":
+                self._fire(fault)
+                raise OSError(errno.ENOSPC, "no space left on device (injected)")
+            if fault.kind == "torn_write":
+                torn_at = (
+                    fault.offset
+                    if fault.offset is not None
+                    else self._random.randrange(max(1, len(payload)))
+                )
+                torn_at = min(torn_at, max(0, len(payload) - 1))
+                self._fire(fault, f"torn at byte {torn_at} of {len(payload)}")
+                payload = payload[:torn_at]
+            elif fault.kind == "bit_flip":
+                payload, position = self._flip_bit(payload, fault.offset)
+                self._fire(fault, f"bit flipped at byte {position}")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            self.fsync(handle, final)
+        if torn_at is not None:
+            # The truncated tmp is durably on disk; the writer is dead.
+            raise SimulatedCrash(f"{kind}.write", f"torn write at byte {torn_at}")
+
+    def fsync(self, handle, final: Path) -> None:
+        kind = self._file_kind(final)
+        fault = self._visit(f"{kind}.fsync")
+        if fault is not None:
+            if fault.kind == "crash":
+                self._fire(fault)
+                raise SimulatedCrash(fault.point, "before fsync")
+            if fault.kind == "fsync_fail":
+                self._fire(fault)
+                raise OSError(errno.EIO, "fsync failed (injected)")
+        os.fsync(handle.fileno())
+
+    def before_replace(self, tmp: Path, final: Path) -> None:
+        fault = self._visit(f"{self._file_kind(final)}.replace")
+        if fault is not None:
+            self._fire(fault)
+            raise SimulatedCrash(fault.point, "tmp durable, replace not yet issued")
+
+    def after_replace(self, final: Path) -> None:
+        fault = self._visit(f"{self._file_kind(final)}.replaced")
+        if fault is not None:
+            self._fire(fault)
+            raise SimulatedCrash(fault.point, "new contents visible, epilogue undone")
+
+    def after_read(self, path: Path, data: bytes) -> bytes:
+        fault = self._visit(f"{self._file_kind(path)}.read")
+        if fault is not None:
+            if fault.kind == "crash":
+                self._fire(fault)
+                raise SimulatedCrash(fault.point, "during a read")
+            if fault.kind == "partial_read":
+                cut = (
+                    fault.offset if fault.offset is not None else len(data) // 2
+                )
+                cut = max(0, min(cut, len(data)))
+                self._fire(fault, f"returned {cut} of {len(data)} bytes")
+                return data[:cut]
+            if fault.kind == "bit_flip":
+                data, position = self._flip_bit(data, fault.offset)
+                self._fire(fault, f"bit flipped at byte {position}")
+        return data
+
+    def before_unlink(self, path: Path) -> None:
+        fault = self._visit(f"{self._file_kind(path)}.unlink")
+        if fault is not None:
+            self._fire(fault)
+            raise SimulatedCrash(fault.point, "segment still on disk")
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector seed={self.seed} armed={self.pending()} "
+            f"fired={len(self.events)}>"
+        )

@@ -26,6 +26,8 @@ a :class:`~repro.service.results.PlannedResult` carrying the executed
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
+from dataclasses import replace
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import UnknownBackendError
@@ -38,6 +40,8 @@ from repro.policy.engine import AccessControlEngine
 from repro.policy.path_expression import PathExpression
 from repro.policy.store import PolicyStore
 from repro.reachability.engine import ReachabilityEngine, available_backends
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.guard import QueryGuard
 from repro.service.planner import INDEX_BACKENDS, QueryPlanner
 from repro.service.queries import (
     AccessQuery,
@@ -90,6 +94,19 @@ class GraphService:
         to a clean recompile (that rewrites the store) on absent, stale or
         corrupt files — and :meth:`refresh` checkpoints the compiled state
         back to disk (delta segment or rebase).
+    query_guard:
+        Optional :class:`~repro.reliability.guard.QueryGuard` bounding per-
+        query work.  Point shapes (``reach``, ``access``) raise
+        :class:`~repro.exceptions.QueryBudgetExceeded` on a blown budget;
+        bulk shapes (``audience``, ``bulk_access``) return early with
+        ``partial=True`` on the result.  ``None`` (the default) runs
+        unguarded — the hot loops pay a single context-variable read.
+    breakers:
+        Per-backend :class:`~repro.reliability.breaker.CircuitBreaker`
+        overrides for index maintenance.  By default every index backend in
+        ``backends`` gets one: repeated build/refresh failures price the
+        backend out of auto-planning (queries reroute to a walking backend)
+        until a half-open probe succeeds.  Pass ``{}`` to disable breakers.
     """
 
     def __init__(
@@ -105,6 +122,8 @@ class GraphService:
         planner: Optional[QueryPlanner] = None,
         backend_options: Optional[Dict[str, Dict[str, object]]] = None,
         snapshot_path: Optional[object] = None,
+        query_guard: Optional[QueryGuard] = None,
+        breakers: Optional[Dict[str, CircuitBreaker]] = None,
     ) -> None:
         self.graph = graph
         self.snapshot_store: Optional[SnapshotStore] = None
@@ -129,6 +148,22 @@ class GraphService:
             raise ValueError("GraphService needs at least one backend")
         self._default_pin = self._normalize_pin(default_backend)
         self._cache_size = cache_size
+        self.query_guard = query_guard
+        #: One breaker per index backend (walking backends never need one:
+        #: they have no maintenance step that can fail).
+        self.breakers: Dict[str, CircuitBreaker] = (
+            dict(breakers)
+            if breakers is not None
+            else {
+                name: CircuitBreaker()
+                for name in self._backends
+                if name in INDEX_BACKENDS
+            }
+        )
+        #: Degradation observability (all surfaced by :meth:`statistics`).
+        self.queries_degraded = 0
+        self.queries_rerouted = 0
+        self.checkpoint_failures = 0
         self.planner = planner if planner is not None else QueryPlanner(
             backend_options=self._backend_options
         )
@@ -175,8 +210,11 @@ class GraphService:
         epoch = getattr(self.graph, "epoch", 0)
         if engine is None:
             options = dict(self._backend_options.get(backend, {}))
-            engine = ReachabilityEngine(
-                self.graph, backend, cache_size=self._cache_size, **options
+            engine = self._maintain_index(
+                backend,
+                lambda: ReachabilityEngine(
+                    self.graph, backend, cache_size=self._cache_size, **options
+                ),
             )
             self._engines[backend] = engine
             self._built_epoch[backend] = epoch
@@ -186,11 +224,32 @@ class GraphService:
                 # The cluster evaluator absorbs the journal gap through its
                 # bounded in-place re-condensation when it can, and falls
                 # back to build() itself when it cannot.
-                refresh()
+                self._maintain_index(backend, refresh)
             else:
-                engine.evaluator.build()
+                self._maintain_index(backend, engine.evaluator.build)
             self._built_epoch[backend] = epoch
         return engine
+
+    def _maintain_index(self, backend: str, action):
+        """Run one build/refresh under the backend's circuit breaker.
+
+        Records success (with duration, so a configured slow threshold can
+        count a crawling build against the backend) or failure; the
+        exception always propagates — callers on the *auto* path catch it
+        and reroute, a *pinned* caller sees the evaluator's own error.
+        """
+        breaker = self.breakers.get(backend) if backend in INDEX_BACKENDS else None
+        if breaker is None:
+            return action()
+        breaker.allow_probe()  # half-open: this build IS the probe
+        started = time.perf_counter()
+        try:
+            result = action()
+        except Exception as error:
+            breaker.record_failure(reason=f"{type(error).__name__}: {error}")
+            raise
+        breaker.record_success(duration=time.perf_counter() - started)
+        return result
 
     def access_engine(self, backend: str) -> AccessControlEngine:
         """Return the access-control engine sharing one backend's memos."""
@@ -225,6 +284,68 @@ class GraphService:
                 fresh[name] = True  # online walks compile the snapshot lazily
         return fresh
 
+    def _vetoed(self) -> frozenset:
+        """Index backends the planner must price out right now.
+
+        An *open* breaker vetoes its backend outright.  A *half-open*
+        breaker stops blocking, so the next plan that would choose the
+        backend becomes the probe — :meth:`_maintain_index` claims the
+        probe slot when the build actually runs, and the build's outcome
+        settles the breaker (closed again, or reopened for another
+        cooldown).  Plans arriving while that probe is in flight see
+        ``blocking`` again and keep degrading.
+        """
+        return frozenset(
+            name for name, breaker in self.breakers.items() if breaker.blocking
+        )
+
+    _WALK_FALLBACKS = ("bfs", "dfs")
+
+    def _engine_for_plan(self, plan):
+        """Acquire the planned engine, failing over auto plans to a walk.
+
+        Index maintenance can fail at acquisition time (the breaker has
+        already recorded it).  A *pinned* plan propagates the evaluator's
+        own error — the caller asked for that backend specifically.  An
+        *auto* plan reroutes to a walking backend, which answers every
+        query shape identically (just without the index's speed), and the
+        rewritten plan travels on the result so the reroute is visible.
+        """
+        return self._acquire_for_plan(plan, self.engine)
+
+    def _access_engine_for_plan(self, plan):
+        """Access-engine variant of :meth:`_engine_for_plan`."""
+        return self._acquire_for_plan(plan, self.access_engine)
+
+    def _acquire_for_plan(self, plan, acquire):
+        try:
+            return acquire(plan.backend), plan
+        except Exception:
+            if plan.backend_forced or plan.backend not in INDEX_BACKENDS:
+                raise
+            fallback = next(
+                (name for name in self._WALK_FALLBACKS if name in self._backends),
+                None,
+            )
+            if fallback is None:
+                raise
+            self.queries_rerouted += 1
+            plan = replace(
+                plan,
+                backend=fallback,
+                reason=(
+                    f"rerouted to {fallback}: {plan.backend} maintenance "
+                    f"failed ({plan.reason})"
+                ),
+            )
+            return acquire(fallback), plan
+
+    def _guard_scope(self, mode: str):
+        """The query guard's scope for one query (no-op when unguarded)."""
+        if self.query_guard is None:
+            return nullcontext()
+        return self.query_guard.scope(mode)
+
     # ------------------------------------------------------------ lifecycle
 
     def refresh(self) -> CompiledGraph:
@@ -238,7 +359,15 @@ class GraphService:
         """
         snapshot = compile_graph(self.graph)
         if self.snapshot_store is not None:
-            self.last_checkpoint = self.snapshot_store.checkpoint(self.graph)
+            try:
+                self.last_checkpoint = self.snapshot_store.checkpoint(self.graph)
+            except OSError:
+                # The store already retried with backoff; a persistent I/O
+                # failure must not take serving down — the in-memory snapshot
+                # is intact, queries keep answering, and the failure is
+                # visible through last_checkpoint and statistics().
+                self.last_checkpoint = "failed"
+                self.checkpoint_failures += 1
         return snapshot
 
     def _tick(self) -> int:
@@ -278,11 +407,22 @@ class GraphService:
         return outcome[1]
 
     def _observe_outcome(self, text: str, reachable: bool) -> None:
+        self._observe_rate(text, 0.0 if reachable else 1.0)
+
+    def _observe_rate(self, text: str, rate: float) -> None:
+        """Feed one (possibly fractional) unreachable-rate sample.
+
+        Point queries feed ``0.0``/``1.0`` outcomes; audience and bulk
+        shapes feed the *fraction* of the live graph their sweep did not
+        reach — one materialization is worth one sample, not thousands of
+        synthetic point outcomes, so a single bulk query cannot swamp the
+        estimator's ~32-query memory.
+        """
         outcome = self._reach_outcomes.get(text)
         if outcome is None:
             outcome = self._reach_outcomes[text] = [0, 0.0]
         outcome[0] += 1
-        sample = 0.0 if reachable else 1.0
+        sample = max(0.0, min(1.0, rate))
         outcome[1] += self._RATE_ALPHA * (sample - outcome[1])
 
     def _refresh_ops(self) -> Optional[int]:
@@ -332,14 +472,19 @@ class GraphService:
             pinned=self._pin_of(query.backend),
             unreachable_rate=self._unreachable_rate(text),
             refresh_ops=self._refresh_ops(),
+            vetoed=self._vetoed(),
         )
-        engine = self.engine(plan.backend)
-        outcome = engine.evaluate(
-            query.source,
-            query.target,
-            expression,
-            collect_witness=query.collect_witness,
-        )
+        # Maintenance runs *outside* the guard scope: the per-query budget
+        # bounds the query's own traversal, not an index build it happens
+        # to trigger (the breaker owns build pathology).
+        engine, plan = self._engine_for_plan(plan)
+        with self._guard_scope(QueryGuard.RAISE):
+            outcome = engine.evaluate(
+                query.source,
+                query.target,
+                expression,
+                collect_witness=query.collect_witness,
+            )
         self._observe_outcome(text, outcome.reachable)
         return ReachResult(
             plan=plan,
@@ -353,8 +498,9 @@ class GraphService:
         started = time.perf_counter()
         self._tick()
         expression = self._parse(query.expression)
+        snapshot = compile_graph(self.graph)
         plan = self.planner.plan_audience(
-            compile_graph(self.graph),
+            snapshot,
             expression,
             len(query.owners),
             backends=self._backends,
@@ -363,15 +509,28 @@ class GraphService:
             pinned=self._pin_of(query.backend),
             direction=query.direction,
         )
-        engine = self.engine(plan.backend)
-        audiences, sweep_plan = engine.sweep_targets_many(
-            query.owners, expression, direction=query.direction
-        )
+        engine, plan = self._engine_for_plan(plan)
+        with self._guard_scope(QueryGuard.PARTIAL):
+            audiences, sweep_plan = engine.sweep_targets_many(
+                query.owners, expression, direction=query.direction
+            )
+        partial = self.query_guard is not None and self.query_guard.tripped
+        if partial:
+            self.queries_degraded += 1
+        elif audiences:
+            # Cardinality feedback (bulk shapes feed the same estimator as
+            # point queries): the mean *unreached* share of the live graph
+            # across the swept owners is one fractional sample for this
+            # expression.  Partial sweeps under-count and are never fed.
+            live = max(1, snapshot.number_of_live_nodes())
+            covered = sum(len(a) for a in audiences.values()) / len(audiences)
+            self._observe_rate(expression.to_text(), 1.0 - covered / live)
         return AudienceResult(
             plan=plan,
             elapsed_seconds=time.perf_counter() - started,
             audiences=audiences,
             sweep_plan=sweep_plan,
+            partial=partial,
         )
 
     def _execute_access(self, query: AccessQuery) -> AccessResult:
@@ -395,11 +554,22 @@ class GraphService:
             pinned=self._pin_of(query.backend),
             unreachable_rate=min(rates) if rates else 0.0,
             refresh_ops=self._refresh_ops(),
+            vetoed=self._vetoed(),
         )
-        access = self.access_engine(plan.backend)
-        decision = access.check_access(
-            query.requester, query.resource_id, explain=query.explain
-        )
+        access, plan = self._access_engine_for_plan(plan)
+        with self._guard_scope(QueryGuard.RAISE):
+            decision = access.check_access(
+                query.requester, query.resource_id, explain=query.explain
+            )
+        # Cardinality feedback from every condition actually evaluated:
+        # each condition outcome is one reach outcome on its expression
+        # (before this, only the reach path fed the estimator, so access-
+        # heavy workloads never earned the closure's prune discount).
+        for rule_outcome in decision.rule_outcomes:
+            for outcome in rule_outcome.condition_outcomes:
+                self._observe_outcome(
+                    outcome.condition.path.to_text(), outcome.satisfied
+                )
         return AccessResult(
             plan=plan,
             elapsed_seconds=time.perf_counter() - started,
@@ -415,8 +585,9 @@ class GraphService:
             for rule in self.store.rules_for(resource_id)
             for condition in rule.conditions
         }
+        snapshot = compile_graph(self.graph)
         plan = self.planner.plan_bulk_access(
-            compile_graph(self.graph),
+            snapshot,
             len(distinct),
             backends=self._backends,
             fresh=self._freshness(),
@@ -424,15 +595,38 @@ class GraphService:
             pinned=self._pin_of(query.backend),
             direction=query.direction,
         )
-        access = self.access_engine(plan.backend)
-        audiences, sweep_plans = access.audiences_with_plans(
-            query.resource_ids, direction=query.direction
-        )
+        access, plan = self._access_engine_for_plan(plan)
+        with self._guard_scope(QueryGuard.PARTIAL):
+            audiences, sweep_plans = access.audiences_with_plans(
+                query.resource_ids, direction=query.direction
+            )
+        partial = self.query_guard is not None and self.query_guard.tripped
+        if partial:
+            self.queries_degraded += 1
+        else:
+            # Cardinality feedback: a resource's authorized audience is a
+            # subset of what each of its conditions reaches, so the unreached
+            # share is an upper-bound sample per condition expression — one
+            # sample per (expression, bulk call), deduplicated, and never
+            # fed from a truncated (partial) materialization.
+            live = max(1, snapshot.number_of_live_nodes())
+            best_rate: Dict[str, float] = {}
+            for resource_id, audience in audiences.items():
+                rate = 1.0 - min(1.0, len(audience) / live)
+                for rule in self.store.rules_for(resource_id):
+                    for condition in rule.conditions:
+                        text = condition.path.to_text()
+                        best_rate[text] = min(
+                            best_rate.get(text, 1.0), rate
+                        )
+            for text, rate in best_rate.items():
+                self._observe_rate(text, rate)
         return BulkAccessResult(
             plan=plan,
             elapsed_seconds=time.perf_counter() - started,
             audiences=audiences,
             sweep_plans=sweep_plans,
+            partial=partial,
         )
 
     # ------------------------------------------------------- convenience api
@@ -519,7 +713,22 @@ class GraphService:
             "queries_executed": float(self.queries_executed),
             "stability": float(self._stability),
             "backends_instantiated": float(len(self._engines)),
+            "queries_degraded": float(self.queries_degraded),
+            "queries_rerouted": float(self.queries_rerouted),
+            "checkpoint_failures": float(self.checkpoint_failures),
         }
+        if self.query_guard is not None:
+            stats["guard_trips"] = float(self.query_guard.trip_count)
+        _BREAKER_STATE = {
+            CircuitBreaker.CLOSED: 0.0,
+            CircuitBreaker.HALF_OPEN: 0.5,
+            CircuitBreaker.OPEN: 1.0,
+        }
+        for name, breaker in self.breakers.items():
+            prefix = f"breaker_{name.replace('-', '_')}"
+            stats[f"{prefix}_state"] = _BREAKER_STATE[breaker.state]
+            stats[f"{prefix}_failures"] = float(breaker.consecutive_failures)
+            stats[f"{prefix}_trips"] = float(breaker.trip_count)
         # Index-size accounting (satellite of PERF-11): the cached compiled
         # snapshot's CSR bytes and whether it is a zero-copy mapping, plus
         # the persistent store's disk footprint.  Reads the cache only — a
@@ -532,6 +741,16 @@ class GraphService:
             disk = self.snapshot_store.stat()
             stats["snapshot_disk_bytes"] = float(disk["disk_bytes"])
             stats["snapshot_delta_segments"] = float(disk["delta_segments"])
+            stats["snapshot_checkpoint_retries"] = float(
+                disk["checkpoint_retries_used"]
+            )
+            stats["snapshot_tmp_files_reaped"] = float(disk["tmp_files_reaped"])
+            stats["snapshot_quarantine_files"] = float(disk["quarantine_files"])
+            report = self.snapshot_store.last_recovery
+            if report is not None:
+                stats["snapshot_fsck_quarantined"] = float(len(report.quarantined))
+                stats["snapshot_fsck_reaped_tmp"] = float(len(report.reaped_tmp))
+                stats["snapshot_fsck_healthy"] = float(report.healthy)
         for name, value in self.planner.statistics().items():
             stats[f"planner_{name}"] = value
         for name, engine in self._engines.items():

@@ -62,9 +62,9 @@ warm query).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from math import ceil, inf
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import UnknownBackendError
 from repro.graph.compiled import CompiledGraph
@@ -370,6 +370,7 @@ class QueryPlanner:
         pinned: Optional[str] = None,
         unreachable_rate: float = 0.0,
         refresh_ops: Optional[int] = None,
+        vetoed: AbstractSet[str] = frozenset(),
     ) -> ExecutionPlan:
         """Plan one point reachability query (also the access-check unit).
 
@@ -380,10 +381,14 @@ class QueryPlanner:
         of journaled mutations a stale cluster index could absorb through
         its bounded incremental refresh; ``None`` (no index built yet, or
         the journal no longer covers the gap) prices a full build.
+        ``vetoed`` backends (typically: index backends whose circuit breaker
+        is open) are priced out of *auto*-selection — marked
+        ``available=False`` in the estimate table — while a pin still routes
+        to them and surfaces the failure at execution time.
         """
         return self._plan_costed(
             "reach", snapshot, (expression,), backends, fresh, stability, pinned,
-            unreachable_rate, refresh_ops,
+            unreachable_rate, refresh_ops, vetoed,
         )
 
     def plan_access(
@@ -397,11 +402,12 @@ class QueryPlanner:
         pinned: Optional[str] = None,
         unreachable_rate: float = 0.0,
         refresh_ops: Optional[int] = None,
+        vetoed: AbstractSet[str] = frozenset(),
     ) -> ExecutionPlan:
         """Plan one access check: every rule condition is a reach query."""
         return self._plan_costed(
             "access", snapshot, tuple(expressions), backends, fresh, stability,
-            pinned, unreachable_rate, refresh_ops,
+            pinned, unreachable_rate, refresh_ops, vetoed,
         )
 
     def _plan_costed(
@@ -415,6 +421,7 @@ class QueryPlanner:
         pinned: Optional[str],
         unreachable_rate: float = 0.0,
         refresh_ops: Optional[int] = None,
+        vetoed: AbstractSet[str] = frozenset(),
     ) -> ExecutionPlan:
         epoch = snapshot.epoch
         # Bucketed so a drifting observed rate yields a handful of cache
@@ -431,6 +438,7 @@ class QueryPlanner:
             self._freshness_signature(fresh),
             rate_bucket,
             refresh_bucket,
+            tuple(sorted(vetoed)),
         )
         cached = self._cached(key, epoch, stability)
         if cached is not None:
@@ -474,6 +482,15 @@ class QueryPlanner:
                         note=previous.note or estimate.note,
                     )
         estimates = tuple(summed[name] for name in backends if name in summed)
+        if vetoed:
+            # A vetoed backend keeps its cost row (benchmarks grade the
+            # heuristic from the table) but cannot win auto-selection.
+            estimates = tuple(
+                replace(estimate, available=False, note="circuit breaker open")
+                if estimate.backend in vetoed and estimate.available
+                else estimate
+                for estimate in estimates
+            )
         if pinned is not None:
             plan = ExecutionPlan(
                 kind=kind,

@@ -69,10 +69,15 @@ class AudienceResult(PlannedResult):
     ``sweep_plan`` is the executed sweep's plan — ``None`` when nothing was
     swept because every owner was served from the epoch-stamped memo (the
     plan describes work done, and a fully warm call does none).
+    ``partial`` is ``True`` when a :class:`~repro.reliability.guard.
+    QueryGuard` budget tripped mid-sweep: completed audiences are exact,
+    the audience being swept at the trip is truncated, and owners not yet
+    reached are empty — never trust a partial result as a full answer.
     """
 
     audiences: Mapping[Hashable, Set[Hashable]] = field(default_factory=dict)
     sweep_plan: Optional[SweepPlan] = None
+    partial: bool = False
 
     def __getitem__(self, owner: Hashable) -> Set[Hashable]:
         return self.audiences[owner]
@@ -109,11 +114,14 @@ class BulkAccessResult(PlannedResult):
     ``audiences`` maps resource id to the full authorized audience;
     ``sweep_plans`` maps expression text to the executed sweep plan of that
     expression's shared multi-source sweep (expressions served entirely from
-    the memo swept nothing and have no entry).
+    the memo swept nothing and have no entry).  ``partial`` is ``True`` when
+    a query-guard budget tripped mid-materialization — audiences computed
+    after the trip under-approximate and must not be treated as complete.
     """
 
     audiences: Mapping[Hashable, Set[Hashable]] = field(default_factory=dict)
     sweep_plans: Mapping[str, SweepPlan] = field(default_factory=dict)
+    partial: bool = False
 
     def __getitem__(self, resource_id: Hashable) -> Set[Hashable]:
         return self.audiences[resource_id]

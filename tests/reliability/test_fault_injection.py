@@ -1,0 +1,180 @@
+"""FaultInjector unit behaviour and its interaction with the store seam."""
+
+import pytest
+
+from repro.exceptions import SnapshotFormatError
+from repro.graph.compiled import compile_graph
+from repro.graph.snapshot import SnapshotStore
+from repro.graph.social_graph import SocialGraph
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    KINDS_BY_STAGE,
+    FaultInjector,
+    SimulatedCrash,
+)
+
+
+def small_graph(n=8):
+    graph = SocialGraph("faults")
+    for i in range(n):
+        graph.add_user(f"u{i}")
+    for i in range(n):
+        graph.add_relationship(f"u{i}", f"u{(i + 1) % n}", "friend")
+    return graph
+
+
+def store_at(tmp_path, injector=None, **kwargs):
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return SnapshotStore(tmp_path / "g.snap", io_hooks=injector, **kwargs)
+
+
+# --------------------------------------------------------------------- arming
+
+
+def test_arm_rejects_unknown_point_and_invalid_kind():
+    injector = FaultInjector()
+    with pytest.raises(ValueError):
+        injector.arm("base.explode", "crash")
+    with pytest.raises(ValueError):
+        injector.arm("base.fsync", "torn_write")  # torn_write is write-only
+
+
+def test_kinds_by_stage_covers_every_kind():
+    assert set(FAULT_KINDS) == {
+        kind for kinds in KINDS_BY_STAGE.values() for kind in kinds
+    }
+
+
+def test_trace_records_every_point_visited(tmp_path):
+    injector = FaultInjector()
+    store = store_at(tmp_path, injector)
+    store.checkpoint(small_graph())
+    assert "base.write" in injector.trace
+    assert "base.fsync" in injector.trace
+    assert "base.replace" in injector.trace
+    assert "base.replaced" in injector.trace
+
+
+def test_skip_counts_occurrences(tmp_path):
+    # fsync fires once per written file; skip=1 must leave the first alone.
+    injector = FaultInjector().arm("base.fsync", "crash", skip=1)
+    store = store_at(tmp_path, injector)
+    store.checkpoint(small_graph())  # first base write survives
+    assert injector.pending() == 1
+    graph = small_graph()
+    graph.add_user("extra")
+    with pytest.raises(SimulatedCrash):
+        store.save(compile_graph(graph))
+    assert injector.pending() == 0
+
+
+def test_seeded_determinism():
+    a = FaultInjector(seed=7)
+    b = FaultInjector(seed=7)
+    payload = bytes(range(256))
+    flipped_a, pos_a = a._flip_bit(payload, None)
+    flipped_b, pos_b = b._flip_bit(payload, None)
+    assert pos_a == pos_b
+    assert flipped_a == flipped_b
+    assert flipped_a != payload
+
+
+# ------------------------------------------------------------------ behaviour
+
+
+def test_crash_strands_tmp_file(tmp_path):
+    """SimulatedCrash must bypass the except-Exception tmp cleanup."""
+    injector = FaultInjector().arm("base.replace", "crash")
+    store = store_at(tmp_path, injector)
+    with pytest.raises(SimulatedCrash):
+        store.checkpoint(small_graph())
+    tmps = list(tmp_path.glob("*.tmp"))
+    assert len(tmps) == 1  # the dead writer left its tmp behind
+
+
+def test_torn_write_persists_truncated_tmp(tmp_path):
+    injector = FaultInjector().arm("base.write", "torn_write", offset=10)
+    store = store_at(tmp_path, injector)
+    with pytest.raises(SimulatedCrash):
+        store.checkpoint(small_graph())
+    (tmp,) = list(tmp_path.glob("*.tmp"))
+    assert tmp.stat().st_size == 10
+    assert not (tmp_path / "g.snap").exists()  # replace never ran
+
+
+def test_enospc_is_a_plain_oserror_and_retry_recovers(tmp_path):
+    """Transient ENOSPC: the checkpoint retry loop absorbs one failure."""
+    naps = []
+    injector = FaultInjector().arm("base.write", "enospc")
+    store = SnapshotStore(
+        tmp_path / "g.snap", io_hooks=injector, sleep=naps.append
+    )
+    assert store.checkpoint(small_graph()) == "base"
+    assert store.checkpoint_retries_used == 1
+    assert naps == [store.retry_backoff_seconds]
+    assert not list(tmp_path.glob("*.tmp"))  # failed attempt cleaned up
+
+
+def test_persistent_enospc_exhausts_retries(tmp_path):
+    injector = FaultInjector().arm("base.write", "enospc", count=10)
+    store = store_at(tmp_path, injector, checkpoint_retries=2)
+    with pytest.raises(OSError):
+        store.checkpoint(small_graph())
+    assert store.checkpoint_retries_used == 2
+
+
+def test_retry_backoff_is_exponential(tmp_path):
+    naps = []
+    injector = FaultInjector().arm("base.fsync", "fsync_fail", count=2)
+    store = SnapshotStore(
+        tmp_path / "g.snap",
+        io_hooks=injector,
+        checkpoint_retries=2,
+        retry_backoff_seconds=0.5,
+        sleep=naps.append,
+    )
+    assert store.checkpoint(small_graph()) == "base"
+    assert naps == [0.5, 1.0]
+
+
+def test_bit_flip_on_write_is_caught_by_verify(tmp_path):
+    injector = FaultInjector(seed=3).arm("base.write", "bit_flip", offset=200)
+    store = store_at(tmp_path, injector)
+    store.checkpoint(small_graph())  # completes: silent corruption
+    clean = store_at(tmp_path)
+    with pytest.raises((SnapshotFormatError, OSError)):
+        clean.load(verify=True)
+
+
+def test_bit_flip_on_delta_write_is_caught(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst")
+    injector = FaultInjector(seed=5).arm("delta.write", "bit_flip")
+    faulty = store_at(tmp_path, injector)
+    assert faulty.checkpoint(graph) == "delta"
+    clean = store_at(tmp_path)
+    with pytest.raises(SnapshotFormatError):
+        clean.load(verify=True)
+
+
+def test_partial_read_is_caught(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst")
+    store.checkpoint(graph)
+    injector = FaultInjector().arm("delta.read", "partial_read", offset=5)
+    faulty = store_at(tmp_path, injector)
+    with pytest.raises(SnapshotFormatError):
+        faulty.load(verify=True)
+
+
+def test_events_record_what_fired(tmp_path):
+    injector = FaultInjector().arm("base.write", "enospc")
+    store = store_at(tmp_path, injector)
+    store.checkpoint(small_graph())
+    assert [(event.point, event.kind) for event in injector.events] == [
+        ("base.write", "enospc")
+    ]

@@ -1,0 +1,221 @@
+"""Self-healing store: fsck, quarantine, tmp hygiene, healed warm starts."""
+
+import os
+import time
+
+import pytest
+
+from repro.graph.compiled import compile_graph
+from repro.graph.snapshot import SnapshotStore
+from repro.graph.social_graph import SocialGraph
+from repro.service.facade import GraphService
+
+
+def small_graph(n=10):
+    graph = SocialGraph("fsck")
+    for i in range(n):
+        graph.add_user(f"u{i}")
+    for i in range(n):
+        graph.add_relationship(f"u{i}", f"u{(i + 1) % n}", "friend")
+    return graph
+
+
+def store_at(tmp_path, **kwargs):
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return SnapshotStore(tmp_path / "g.snap", **kwargs)
+
+
+def age(path, seconds=3600):
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+# ------------------------------------------------------------------- tmp reap
+
+
+def test_open_reaps_stale_tmp_files(tmp_path):
+    stale = tmp_path / "g.snap.tmp"
+    stale.write_bytes(b"half a checkpoint")
+    age(stale)
+    store = store_at(tmp_path)
+    assert not stale.exists()
+    assert store.tmp_files_reaped == 1
+
+
+def test_open_keeps_fresh_tmp_files(tmp_path):
+    """A fresh tmp may belong to a live writer in another process."""
+    fresh = tmp_path / "g.delta.0.tmp"
+    fresh.write_bytes(b"in flight")
+    store = store_at(tmp_path)
+    assert fresh.exists()
+    # fsck runs on a store known broken: it reaps regardless of age.
+    report = store.fsck()
+    assert not fresh.exists()
+    assert "g.delta.0.tmp" in report.reaped_tmp
+
+
+def test_failed_write_cleans_its_own_tmp(tmp_path):
+    """An ordinary (non-crash) failure must not orphan the tmp file."""
+
+    class Boom(OSError):
+        pass
+
+    store = store_at(tmp_path, checkpoint_retries=0)
+    original = store.io_hooks
+
+    class FailingHooks(type(original)):
+        def before_replace(self, tmp, final):
+            raise Boom("no replace today")
+
+    store.io_hooks = FailingHooks()
+    with pytest.raises(Boom):
+        store.checkpoint(small_graph())
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------- quarantine
+
+
+def test_fsck_on_clean_store_is_healthy(tmp_path):
+    store = store_at(tmp_path)
+    store.checkpoint(small_graph())
+    report = store.fsck()
+    assert report.healthy
+    assert report.quarantined == ()
+    assert not report.base_quarantined
+    assert store.last_recovery is report
+
+
+def test_fsck_quarantines_corrupt_segment_and_serves_prefix(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    pre_epoch = graph.epoch
+    graph.add_user("burst-1")
+    store.checkpoint(graph)
+    graph.add_user("burst-2")
+    store.checkpoint(graph)
+    # Corrupt the *first* segment: both must go (the chain is contiguous).
+    (tmp_path / "g.delta.0").write_bytes(b"{ not json")
+    report = store.fsck()
+    assert report.healthy
+    assert not report.base_quarantined
+    assert "g.delta.0.quarantine.0" in report.quarantined
+    assert "g.delta.1.quarantine.0" in report.quarantined
+    assert report.segments_kept == 0
+    assert report.tip_epoch == pre_epoch
+    # Quarantine renames, never deletes: the evidence stays on disk.
+    assert (tmp_path / "g.delta.0.quarantine.0").exists()
+    assert (tmp_path / "g.delta.1.quarantine.0").exists()
+    assert not (tmp_path / "g.delta.0").exists()
+    assert store.load(verify=True).epoch == pre_epoch
+
+
+def test_fsck_quarantines_only_the_broken_suffix(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst-1")
+    store.checkpoint(graph)
+    mid_epoch = graph.epoch
+    graph.add_user("burst-2")
+    store.checkpoint(graph)
+    (tmp_path / "g.delta.1").write_bytes(b"garbage")
+    report = store.fsck()
+    assert report.healthy
+    assert report.quarantined == ("g.delta.1.quarantine.0",)
+    assert report.segments_kept == 1
+    assert store.load(verify=True).epoch == mid_epoch
+
+
+def test_fsck_quarantines_corrupt_base_with_whole_chain(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst")
+    store.checkpoint(graph)
+    base = tmp_path / "g.snap"
+    base.write_bytes(b"\x00" * 64)
+    report = store.fsck()
+    assert report.healthy  # empty-and-recompilable counts as servable
+    assert report.base_quarantined
+    assert "g.snap.quarantine.0" in report.quarantined
+    with pytest.raises(FileNotFoundError):
+        store.load()
+
+
+def test_quarantine_names_never_collide(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    for round_ in range(2):
+        store.checkpoint(graph)
+        (tmp_path / "g.snap").write_bytes(b"\x00" * 64)
+        store.fsck()
+        graph.add_user(f"round-{round_}")
+    assert (tmp_path / "g.snap.quarantine.0").exists()
+    assert (tmp_path / "g.snap.quarantine.1").exists()
+
+
+# -------------------------------------------------------------------- healing
+
+
+def test_load_or_compile_heals_corrupt_suffix(tmp_path):
+    """A corrupt segment whose gap the journal covers loads as 'healed'."""
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst")
+    store.checkpoint(graph)
+    (tmp_path / "g.delta.0").write_bytes(b"broken segment")
+    fresh = store_at(tmp_path)
+    snapshot, source = fresh.load_or_compile(graph)
+    assert source == "healed"
+    assert snapshot.epoch == graph.epoch
+    assert fresh.last_recovery is not None
+    assert fresh.last_recovery.quarantined
+
+
+def test_load_or_compile_recompiles_when_base_is_gone(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    (tmp_path / "g.snap").write_bytes(b"\x00" * 64)
+    fresh = store_at(tmp_path)
+    snapshot, source = fresh.load_or_compile(graph)
+    assert source == "corrupt"
+    assert snapshot.epoch == graph.epoch
+    # The fallback rewrote the store: the next open is clean.
+    assert store_at(tmp_path).load(verify=True).epoch == graph.epoch
+
+
+def test_stat_reports_reliability_counters(tmp_path):
+    store = store_at(tmp_path)
+    graph = small_graph()
+    store.checkpoint(graph)
+    graph.add_user("burst")
+    store.checkpoint(graph)
+    (tmp_path / "g.delta.0").write_bytes(b"broken")
+    store.fsck()
+    disk = store.stat()
+    assert disk["quarantine_files"] == 1
+    assert disk["tmp_files"] == 0
+    assert "checkpoint_retries_used" in disk
+    assert "tmp_files_reaped" in disk
+
+
+# ------------------------------------------------------------ service surface
+
+
+def test_service_surfaces_recovery_in_statistics(tmp_path):
+    graph = small_graph()
+    seed_store = store_at(tmp_path)
+    seed_store.checkpoint(graph)
+    graph.add_user("burst")
+    seed_store.checkpoint(graph)
+    (tmp_path / "g.delta.0").write_bytes(b"broken")
+    service = GraphService(graph, snapshot_path=tmp_path / "g.snap")
+    assert service.warm_start == "healed"
+    stats = service.statistics()
+    assert stats["snapshot_fsck_quarantined"] == 1.0
+    assert stats["snapshot_fsck_healthy"] == 1.0
+    assert stats["snapshot_quarantine_files"] == 1.0

@@ -1,0 +1,91 @@
+"""Cardinality feedback from every query shape into the planner's estimator.
+
+The unreachable-rate EWMA used to learn only from ``reach`` queries; these
+tests pin down the PR 8 satellite: ``access`` feeds one outcome per
+evaluated condition, and ``audience`` / ``bulk_access`` feed *fractional*
+samples (the unreached share of the live graph) — except when the answer is
+partial, which must never be mistaken for low reachability.
+"""
+
+from repro.graph.social_graph import SocialGraph
+from repro.policy.store import PolicyStore
+from repro.reliability.guard import QueryGuard
+from repro.service.facade import GraphService
+
+
+def ring_graph(n=20):
+    graph = SocialGraph("feedback")
+    for i in range(n):
+        graph.add_user(f"u{i}")
+    for i in range(n):
+        graph.add_relationship(f"u{i}", f"u{(i + 1) % n}", "friend")
+    return graph
+
+
+def shared_album(store, owner="u0", expression="friend+[1,3]"):
+    store.share(owner, "album", kind="photos")
+    store.allow("album", expression)
+    return expression
+
+
+def test_access_checks_feed_condition_outcomes():
+    graph = ring_graph()
+    store = PolicyStore()
+    text = shared_album(store)
+    service = GraphService(graph, store)
+    assert text not in service._reach_outcomes
+    granted = service.check("u2", "album")  # within 3 friend hops
+    assert granted.granted
+    samples, rate = service._reach_outcomes[text]
+    assert samples == 1
+    assert rate < 0.5  # a satisfied condition is a reachable outcome
+    denied = service.check("u10", "album")
+    assert not denied.granted
+    assert service._reach_outcomes[text][0] == 2
+    assert service._reach_outcomes[text][1] > rate  # denial raised the rate
+
+
+def test_audience_feeds_a_fractional_sample():
+    graph = ring_graph()
+    service = GraphService(graph)
+    text = "friend+[1,3]"
+    result = service.audience(["u0"], text)
+    assert not result.partial
+    samples, rate = service._reach_outcomes[text]
+    assert samples == 1
+    # The audience reaches 3 of ~19 other users: a high unreached share,
+    # scaled by the EWMA alpha on the very first sample.
+    assert 0.0 < rate <= 1.0
+
+
+def test_partial_audience_feeds_nothing():
+    graph = ring_graph()
+    service = GraphService(graph, query_guard=QueryGuard(max_steps=2))
+    text = "friend+[1,19]"
+    result = service.audience(["u0", "u1"], text)
+    assert result.partial
+    assert text not in service._reach_outcomes
+
+
+def test_bulk_access_feeds_each_condition_once():
+    graph = ring_graph()
+    store = PolicyStore()
+    text = shared_album(store)
+    # A second resource with the same expression: the sample must still be
+    # deduplicated to one observation per expression per bulk call.
+    store.share("u5", "diary", kind="notes")
+    store.allow("diary", text)
+    service = GraphService(graph, store)
+    service.bulk_access(["album", "diary"])
+    samples, _rate = service._reach_outcomes[text]
+    assert samples == 1
+
+
+def test_feedback_eventually_moves_the_rate_estimate():
+    graph = ring_graph()
+    store = PolicyStore()
+    text = shared_album(store)
+    service = GraphService(graph, store)
+    for _ in range(service._RATE_SAMPLE_FLOOR + 1):
+        service.check("u10", "album")  # all denials
+    assert service._unreachable_rate(text) > 0.0
