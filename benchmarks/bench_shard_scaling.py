@@ -1,0 +1,298 @@
+"""PERF-13 — community-sharded audience serving: worker scaling vs PR 3.
+
+The sharding layer splits the social graph into community-aligned shard
+mirrors, persists each through the PERF-11 snapshot store, and serves bulk
+audience queries from one worker process per shard
+(:class:`~repro.sharding.ShardServingPool`), exchanging boundary masks in
+bulk-synchronous rounds.  This benchmark measures what that buys over the
+PR 3 status quo — a single process running the owner-bitset
+:func:`~repro.reachability.compiled_search.audience_sweep` over the whole
+unsharded CSR:
+
+1. **Worker scaling** — the same owner batch swept by pools of 1/2/4/8
+   workers (the graph re-partitioned to match, since the pool runs one
+   worker per shard).  Every benchmarked query is differentially asserted:
+   each owner's pooled audience must equal the single-process sweep's.
+   The acceptance row — pool of 4 >= 2x the pool of 1 — is asserted only
+   when the machine has >= 4 usable cores (PERF-11 precedent: CPU-bound
+   sweeps cannot parallelize on a single-core runner, while the
+   architectural numbers — rounds, boundary traffic, partition balance —
+   are still reported).
+
+2. **Locality probe** — the in-process :class:`~repro.sharding.ShardRouter`
+   on the 4-shard partition answers a batch of point reach queries and one
+   owner sweep, reporting the shard-local hit rate, the escalation
+   fraction, and how often the boundary summary refuted a crossing without
+   running the global fanout.
+
+Graphs are planted-partition (``community_graph``) at 50k / 100k / 200k
+users — the community-structured regime the partitioner targets — or one
+2000-user graph under ``BENCH_SMOKE=1`` (the CI smoke job, ratios not
+asserted).
+
+Artifacts: ``benchmarks/results/BENCH_shard_scaling.json`` and
+``perf13_shard_scaling.txt``.  Runnable directly:
+``PYTHONPATH=src python benchmarks/bench_shard_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+SIZES = (2000,) if SMOKE else (50_000, 100_000, 200_000)
+COMMUNITIES = 16
+OWNER_STRIDE = 40 if SMOKE else 100
+POINT_QUERIES = 20 if SMOKE else 200
+SWEEP_REPEATS = 3
+WORKER_COUNTS = (1, 2, 4, 8)
+SEED = 11
+
+EXPRESSION = "friend+[1,2]"
+
+#: Full-size acceptance floor: pool of 4 vs pool of 1; needs >= 4 cores.
+SCALING_TARGET = 2.0
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _build_graph(size: int):
+    from repro.graph.generators import community_graph
+
+    return community_graph(
+        size,
+        communities=COMMUNITIES,
+        intra_edges_per_node=4,
+        inter_fraction=0.05,
+        seed=SEED,
+    )
+
+
+def _baseline_sweep(graph, owners) -> dict:
+    """PR 3 status quo: one process, one unsharded CSR, one owner sweep."""
+    from repro.graph.compiled import compile_graph
+    from repro.policy.path_expression import PathExpression
+    from repro.reachability.compiled_search import (
+        CompiledAutomaton,
+        audience_sweep,
+    )
+
+    snapshot = compile_graph(graph)
+    automaton = CompiledAutomaton(PathExpression.parse(EXPRESSION), snapshot)
+    sources = [snapshot.index_of(owner) for owner in owners]
+    seconds = []
+    sweep = None
+    for _ in range(SWEEP_REPEATS):
+        started = time.perf_counter()
+        sweep = audience_sweep(snapshot, automaton, sources)
+        seconds.append(time.perf_counter() - started)
+    audiences = {
+        owner: {snapshot.node_ids[node] for node in audience}
+        for owner, audience in zip(owners, sweep.audiences)
+    }
+    best = min(seconds)
+    return {
+        "audiences": audiences,
+        "best_seconds": best,
+        "throughput_owner_audiences_per_second": len(owners) / best,
+    }
+
+
+def _pool_row(graph, owners, workers: int, baseline: dict) -> dict:
+    """Partition into ``workers`` shards, serve from a pool, differential."""
+    from repro.sharding import ShardServingPool, ShardedGraph
+
+    started = time.perf_counter()
+    sharded = ShardedGraph(graph, shards=workers, seed=SEED)
+    partition_seconds = time.perf_counter() - started
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as tmp:
+        started = time.perf_counter()
+        sharded.save(Path(tmp))
+        save_seconds = time.perf_counter() - started
+        with ShardServingPool(tmp) as pool:
+            assert all(info["mapped"] for info in pool.worker_info)
+            seconds = []
+            audiences = None
+            for _ in range(SWEEP_REPEATS):
+                started = time.perf_counter()
+                audiences = pool.bulk_audience(owners, EXPRESSION)
+                seconds.append(time.perf_counter() - started)
+            rounds, messages = pool.rounds, pool.messages
+    # Every benchmarked query is differentially asserted against PR 3.
+    for owner in owners:
+        assert audiences[owner] == baseline["audiences"][owner], (
+            workers,
+            owner,
+        )
+    best = min(seconds)
+    return {
+        "workers": workers,
+        "boundary_edges": sharded.boundary_edge_count,
+        "ghost_users": len(sharded.boundary_users()),
+        "partition_seconds": partition_seconds,
+        "save_seconds": save_seconds,
+        "sweep_seconds_best": best,
+        "throughput_owner_audiences_per_second": len(owners) / best,
+        "speedup_vs_statusquo": (
+            (len(owners) / best)
+            / baseline["throughput_owner_audiences_per_second"]
+        ),
+        "rounds": rounds,
+        "messages": messages,
+    }
+
+
+def _locality_probe(graph, owners) -> dict:
+    """In-process router on the 4-shard cut: local hits and escalations."""
+    from repro.policy.path_expression import PathExpression
+    from repro.sharding import ShardRouter, ShardedGraph
+
+    router = ShardRouter(ShardedGraph(graph, shards=4, seed=SEED))
+    expression = PathExpression.parse(EXPRESSION)
+    rng = random.Random(SEED)
+    users = sorted(graph.users(), key=str)
+    started = time.perf_counter()
+    for _ in range(POINT_QUERIES):
+        router.evaluate(rng.choice(users), rng.choice(users), expression)
+    point_seconds = time.perf_counter() - started
+    router.sweep_targets_many(owners[: max(1, len(owners) // 4)], expression)
+    stats = router.statistics()
+    return {
+        "point_queries": POINT_QUERIES,
+        "point_seconds": point_seconds,
+        "local_hit_rate": stats["local_queries"] / max(1.0, stats["point_queries"]),
+        "escalation_fraction": router.escalation_rate,
+        "summary_prunes": stats["summary_prunes"],
+        "messages_sent": stats["messages"],
+        "rounds_run": stats["rounds"],
+    }
+
+
+def run_benchmark() -> dict:
+    experiments = []
+    for size in SIZES:
+        graph = _build_graph(size)
+        users = sorted(graph.users(), key=str)
+        owners = users[::OWNER_STRIDE]
+        baseline = _baseline_sweep(graph, owners)
+        rows = [
+            _pool_row(graph, owners, workers, baseline)
+            for workers in WORKER_COUNTS
+        ]
+        by_workers = {row["workers"]: row for row in rows}
+        experiments.append(
+            {
+                "users": graph.number_of_users(),
+                "relationships": graph.number_of_relationships(),
+                "owners": len(owners),
+                "baseline_sweep_seconds_best": baseline["best_seconds"],
+                "baseline_throughput_owner_audiences_per_second": baseline[
+                    "throughput_owner_audiences_per_second"
+                ],
+                "rows": rows,
+                "scaling_4v1": (
+                    by_workers[4]["throughput_owner_audiences_per_second"]
+                    / by_workers[1]["throughput_owner_audiences_per_second"]
+                ),
+                "locality": _locality_probe(graph, owners),
+            }
+        )
+    return {
+        "experiment": "PERF-13 community-sharded audience serving",
+        "smoke": SMOKE,
+        "expression": EXPRESSION,
+        "worker_counts": list(WORKER_COUNTS),
+        "scaling_target": SCALING_TARGET,
+        "usable_cpus": _usable_cpus(),
+        "sizes": experiments,
+    }
+
+
+def _format_table(summary: dict) -> str:
+    lines = [
+        "PERF-13 — community-sharded audience serving (pool of N shard workers)",
+        f"expression: `{summary['expression']}`; "
+        f"{summary['usable_cpus']} usable cpu(s)"
+        + (" (SMOKE)" if summary["smoke"] else ""),
+        "",
+    ]
+    for experiment in summary["sizes"]:
+        lines.append(
+            f"graph: {experiment['users']} users, "
+            f"{experiment['relationships']} relationships; "
+            f"{experiment['owners']} owners per sweep "
+            f"(status quo {experiment['baseline_sweep_seconds_best']:.3f} s, "
+            f"{experiment['baseline_throughput_owner_audiences_per_second']:.0f}"
+            " owner-audiences/s)"
+        )
+        lines.append(
+            f"{'workers':>7} {'boundary':>9} {'sweep s':>8} {'audiences/s':>12} "
+            f"{'vs PR 3':>8} {'rounds':>6} {'messages':>9}"
+        )
+        lines.append("-" * 66)
+        for row in experiment["rows"]:
+            lines.append(
+                f"{row['workers']:>7} {row['boundary_edges']:>9} "
+                f"{row['sweep_seconds_best']:>8.3f} "
+                f"{row['throughput_owner_audiences_per_second']:>12.0f} "
+                f"{row['speedup_vs_statusquo']:>7.2f}x "
+                f"{row['rounds']:>6} {row['messages']:>9}"
+            )
+        locality = experiment["locality"]
+        lines.append(
+            f"scaling 4v1: {experiment['scaling_4v1']:.2f}x "
+            f"(target >= {summary['scaling_target']:.0f}x with >= 4 cores); "
+            f"local hits {locality['local_hit_rate']:.0%}, "
+            f"escalations {locality['escalation_fraction']:.0%}, "
+            f"summary prunes {locality['summary_prunes']}"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _meets_target(summary: dict) -> bool:
+    if summary["usable_cpus"] < 4:
+        return True  # single-core runner: differential already asserted
+    return all(
+        experiment["scaling_4v1"] >= SCALING_TARGET
+        for experiment in summary["sizes"]
+    )
+
+
+def test_sharded_serving_matches_single_process():
+    summary = run_benchmark()
+    print()
+    print(_format_table(summary))
+    if SMOKE:
+        return  # every query was differentially asserted; ratios are noise
+    assert _meets_target(summary), summary["sizes"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    summary = run_benchmark()
+    table = _format_table(summary)
+    print()
+    print(table)
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_shard_scaling.json").write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
+        (RESULTS_DIR / "perf13_shard_scaling.txt").write_text(
+            table + "\n", encoding="utf-8"
+        )
+    sys.exit(0 if (summary["smoke"] or _meets_target(summary)) else 1)

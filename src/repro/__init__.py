@@ -101,6 +101,15 @@ from repro.service import (
     ReachQuery,
     ReachResult,
 )
+from repro.sharding import (
+    BoundarySummary,
+    CommunityPartitioner,
+    Partition,
+    ShardedGraph,
+    ShardRouter,
+    ShardServingPool,
+    ShardSweepPlan,
+)
 
 __version__ = "1.1.0"
 
@@ -158,4 +167,12 @@ __all__ = [
     "FaultInjector",
     "QueryGuard",
     "RecoveryReport",
+    # sharding (community partitions, boundary summaries, multiprocess)
+    "BoundarySummary",
+    "CommunityPartitioner",
+    "Partition",
+    "ShardRouter",
+    "ShardServingPool",
+    "ShardSweepPlan",
+    "ShardedGraph",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "preferential_attachment_graph",
     "small_world_graph",
     "forest_fire_graph",
+    "community_graph",
     "layered_organization_graph",
 ]
 
@@ -267,6 +268,63 @@ def forest_fire_graph(
                 if neighbor not in burned and spread < budget:
                     frontier.append(neighbor)
                     spread += 1
+    return graph
+
+
+def community_graph(
+    n: int,
+    communities: int = 8,
+    intra_edges_per_node: int = 4,
+    inter_fraction: float = 0.05,
+    *,
+    labels: Optional[LabelDistribution] = None,
+    attributes: Optional[AttributeModel] = None,
+    reciprocal_probability: float = 0.5,
+    seed: Optional[int] = None,
+    prefix: str = "u",
+) -> SocialGraph:
+    """Planted-partition graph: dense communities, sparse cross-community edges.
+
+    Users are split into ``communities`` equal blocks.  Each user draws
+    ``intra_edges_per_node`` edges to peers of its own block (preferential
+    within the block, so every community has hubs) and, with probability
+    ``inter_fraction`` per drawn edge, the edge instead crosses to a uniform
+    user of another block.  This is the community-structured regime the
+    sharding layer is built for: most walks stay inside one block, and the
+    cross-block edge count — the boundary set — is a tunable small fraction.
+    """
+    rng = random.Random(seed)
+    labels = labels or LabelDistribution()
+    graph, users = _new_graph(f"planted-partition-{n}", n, rng, attributes, prefix)
+    if n <= 1:
+        return graph
+    blocks: List[List[str]] = [[] for _ in range(max(1, communities))]
+    for index, user in enumerate(users):
+        blocks[index % len(blocks)].append(user)
+    # Per-block repeated-endpoints list: sampling from it is sampling
+    # proportionally to intra-block degree (the Barabási–Albert trick,
+    # applied inside each planted community).
+    repeated: List[List[str]] = [[] for _ in blocks]
+    for block_index, block in enumerate(blocks):
+        for position, source in enumerate(block):
+            for _ in range(max(1, intra_edges_per_node)):
+                if rng.random() < inter_fraction and len(blocks) > 1:
+                    other = rng.randrange(len(blocks) - 1)
+                    if other >= block_index:
+                        other += 1
+                    target = blocks[other][rng.randrange(len(blocks[other]))]
+                else:
+                    pool = repeated[block_index]
+                    if pool and rng.random() < 0.8:
+                        target = rng.choice(pool)
+                    elif position:
+                        target = block[rng.randrange(position)]
+                    else:
+                        continue
+                if target == source:
+                    continue
+                _add_edge(graph, rng, labels, source, target, reciprocal_probability)
+                repeated[block_index].extend((source, target))
     return graph
 
 

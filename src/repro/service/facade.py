@@ -43,6 +43,8 @@ from repro.reachability.engine import ReachabilityEngine, available_backends
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.guard import QueryGuard
 from repro.service.planner import INDEX_BACKENDS, QueryPlanner
+from repro.sharding.router import ShardRouter
+from repro.sharding.shard import ShardedGraph
 from repro.service.queries import (
     AccessQuery,
     AudienceQuery,
@@ -107,6 +109,15 @@ class GraphService:
         ``backends`` gets one: repeated build/refresh failures price the
         backend out of auto-planning (queries reroute to a walking backend)
         until a half-open probe succeeds.  Pass ``{}`` to disable breakers.
+    shards:
+        ``> 1`` partitions the graph into that many community shards (built
+        lazily on first use) and makes the **sharded route** available: the
+        planner's shard-fanout cost term routes eligible queries through the
+        :class:`~repro.sharding.router.ShardRouter`, and ``"sharded"``
+        becomes a valid backend pin (per query or service-wide).  ``0`` (the
+        default) or ``1`` disables sharding entirely.
+    shard_seed:
+        Determinism seed of the community partitioner.
     """
 
     def __init__(
@@ -124,6 +135,8 @@ class GraphService:
         snapshot_path: Optional[object] = None,
         query_guard: Optional[QueryGuard] = None,
         breakers: Optional[Dict[str, CircuitBreaker]] = None,
+        shards: int = 0,
+        shard_seed: int = 7,
     ) -> None:
         self.graph = graph
         self.snapshot_store: Optional[SnapshotStore] = None
@@ -146,6 +159,16 @@ class GraphService:
         )
         if not self._backends:
             raise ValueError("GraphService needs at least one backend")
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
+        #: Shard count (0/1 = sharding off).  Must be set before the default
+        #: pin normalizes: ``default_backend="sharded"`` is only valid with
+        #: an active shard layout.
+        self.shards = shards
+        self.shard_seed = shard_seed
+        self._shard_runtime_obj: Optional[
+            Tuple[ShardRouter, ReachabilityEngine, AccessControlEngine]
+        ] = None
         self._default_pin = self._normalize_pin(default_backend)
         self._cache_size = cache_size
         self.query_guard = query_guard
@@ -192,9 +215,70 @@ class GraphService:
     def _normalize_pin(self, backend: Optional[str]) -> Optional[str]:
         if backend is None or backend == "auto":
             return None
+        if backend == "sharded":
+            if self.shards > 1:
+                return backend
+            raise UnknownBackendError(
+                "sharded (service constructed without shards)",
+                sorted(self._backends),
+            )
         if backend not in self._backends:
             raise UnknownBackendError(backend, sorted(self._backends))
         return backend
+
+    def _shard_runtime(
+        self,
+    ) -> Tuple[ShardRouter, ReachabilityEngine, AccessControlEngine]:
+        """The lazily built sharded execution stack (router + engines).
+
+        The router is an ordinary evaluator, so it gets the full engine
+        treatment: per-owner audience memos, decision memos through the
+        access engine, guard-aware cache hygiene (partial sweeps never enter
+        the memo).  The shard mirrors refresh themselves from the graph's
+        journal on every routed query.
+        """
+        if self.shards <= 1:
+            raise UnknownBackendError("sharded", sorted(self._backends))
+        if self._shard_runtime_obj is None:
+            sharded = ShardedGraph(
+                self.graph, shards=self.shards, seed=self.shard_seed
+            )
+            router = ShardRouter(sharded)
+            engine = ReachabilityEngine(
+                self.graph, router, cache_size=self._cache_size
+            )
+            access = AccessControlEngine(
+                self.graph,
+                self.store,
+                backend=engine,
+                default_effect=self.default_effect,
+                audit_log=self.audit_log,
+            )
+            self._shard_runtime_obj = (router, engine, access)
+        return self._shard_runtime_obj
+
+    def _shard_cross_rate(self) -> float:
+        """Observed cross-shard escalation rate (the planner's feedback)."""
+        if self._shard_runtime_obj is None:
+            return 0.0
+        return self._shard_runtime_obj[0].escalation_rate
+
+    def _plan_shards(self, pin: Optional[str], eligible: bool = True) -> int:
+        """Shard count to offer the planner (0 = keep the route single)."""
+        if self.shards > 1 and pin is None and eligible:
+            return self.shards
+        return 0
+
+    @staticmethod
+    def _force_sharded(plan):
+        """Rewrite a plan for a ``"sharded"`` pin (planner plans pin-free)."""
+        return replace(
+            plan,
+            backend="sharded",
+            backend_forced=True,
+            route="sharded",
+            reason="backend pinned to 'sharded' by the caller",
+        )
 
     def engine(self, backend: str) -> ReachabilityEngine:
         """Return the (lazily created, freshly built) engine of one backend.
@@ -463,21 +547,33 @@ class GraphService:
         self._tick()
         expression = self._parse(query.expression)
         text = expression.to_text()
+        pin = self._pin_of(query.backend)
+        shard_pin = pin == "sharded"
         plan = self.planner.plan_reach(
             compile_graph(self.graph),
             expression,
             backends=self._backends,
             fresh=self._freshness(),
             stability=self._stability,
-            pinned=self._pin_of(query.backend),
+            pinned=None if shard_pin else pin,
             unreachable_rate=self._unreachable_rate(text),
             refresh_ops=self._refresh_ops(),
             vetoed=self._vetoed(),
+            # The sharded walk carries no parent links: witness-collecting
+            # queries stay on the single-snapshot route unless pinned.
+            shards=self._plan_shards(pin, eligible=not query.collect_witness),
+            shard_cross_rate=self._shard_cross_rate(),
         )
-        # Maintenance runs *outside* the guard scope: the per-query budget
-        # bounds the query's own traversal, not an index build it happens
-        # to trigger (the breaker owns build pathology).
-        engine, plan = self._engine_for_plan(plan)
+        if shard_pin:
+            plan = self._force_sharded(plan)
+        if plan.route == "sharded":
+            _router, engine, _access = self._shard_runtime()
+            plan = replace(plan, backend="sharded")
+        else:
+            # Maintenance runs *outside* the guard scope: the per-query
+            # budget bounds the query's own traversal, not an index build it
+            # happens to trigger (the breaker owns build pathology).
+            engine, plan = self._engine_for_plan(plan)
         with self._guard_scope(QueryGuard.RAISE):
             outcome = engine.evaluate(
                 query.source,
@@ -499,6 +595,8 @@ class GraphService:
         self._tick()
         expression = self._parse(query.expression)
         snapshot = compile_graph(self.graph)
+        pin = self._pin_of(query.backend)
+        shard_pin = pin == "sharded"
         plan = self.planner.plan_audience(
             snapshot,
             expression,
@@ -506,10 +604,18 @@ class GraphService:
             backends=self._backends,
             fresh=self._freshness(),
             stability=self._stability,
-            pinned=self._pin_of(query.backend),
+            pinned=None if shard_pin else pin,
             direction=query.direction,
+            shards=self._plan_shards(pin),
+            shard_cross_rate=self._shard_cross_rate(),
         )
-        engine, plan = self._engine_for_plan(plan)
+        if shard_pin:
+            plan = self._force_sharded(plan)
+        if plan.route == "sharded":
+            _router, engine, _access = self._shard_runtime()
+            plan = replace(plan, backend="sharded")
+        else:
+            engine, plan = self._engine_for_plan(plan)
         with self._guard_scope(QueryGuard.PARTIAL):
             audiences, sweep_plan = engine.sweep_targets_many(
                 query.owners, expression, direction=query.direction
@@ -545,18 +651,30 @@ class GraphService:
             self._unreachable_rate(expression.to_text())
             for expression in expressions
         ]
+        pin = self._pin_of(query.backend)
+        shard_pin = pin == "sharded"
         plan = self.planner.plan_access(
             compile_graph(self.graph),
             expressions,
             backends=self._backends,
             fresh=self._freshness(),
             stability=self._stability,
-            pinned=self._pin_of(query.backend),
+            pinned=None if shard_pin else pin,
             unreachable_rate=min(rates) if rates else 0.0,
             refresh_ops=self._refresh_ops(),
             vetoed=self._vetoed(),
+            # Explanations embed witness paths; the sharded walk has none,
+            # so explain-mode checks stay single-snapshot unless pinned.
+            shards=self._plan_shards(pin, eligible=not query.explain),
+            shard_cross_rate=self._shard_cross_rate(),
         )
-        access, plan = self._access_engine_for_plan(plan)
+        if shard_pin:
+            plan = self._force_sharded(plan)
+        if plan.route == "sharded":
+            _router, _engine, access = self._shard_runtime()
+            plan = replace(plan, backend="sharded")
+        else:
+            access, plan = self._access_engine_for_plan(plan)
         with self._guard_scope(QueryGuard.RAISE):
             decision = access.check_access(
                 query.requester, query.resource_id, explain=query.explain
@@ -586,16 +704,26 @@ class GraphService:
             for condition in rule.conditions
         }
         snapshot = compile_graph(self.graph)
+        pin = self._pin_of(query.backend)
+        shard_pin = pin == "sharded"
         plan = self.planner.plan_bulk_access(
             snapshot,
             len(distinct),
             backends=self._backends,
             fresh=self._freshness(),
             stability=self._stability,
-            pinned=self._pin_of(query.backend),
+            pinned=None if shard_pin else pin,
             direction=query.direction,
+            shards=self._plan_shards(pin),
+            shard_cross_rate=self._shard_cross_rate(),
         )
-        access, plan = self._access_engine_for_plan(plan)
+        if shard_pin:
+            plan = self._force_sharded(plan)
+        if plan.route == "sharded":
+            _router, _engine, access = self._shard_runtime()
+            plan = replace(plan, backend="sharded")
+        else:
+            access, plan = self._access_engine_for_plan(plan)
         with self._guard_scope(QueryGuard.PARTIAL):
             audiences, sweep_plans = access.audiences_with_plans(
                 query.resource_ids, direction=query.direction
@@ -751,6 +879,14 @@ class GraphService:
                 stats["snapshot_fsck_quarantined"] = float(len(report.quarantined))
                 stats["snapshot_fsck_reaped_tmp"] = float(len(report.reaped_tmp))
                 stats["snapshot_fsck_healthy"] = float(report.healthy)
+        if self.shards:
+            stats["shard_count"] = float(self.shards)
+        if self._shard_runtime_obj is not None:
+            router, shard_engine, _access = self._shard_runtime_obj
+            for key, value in router.statistics().items():
+                stats[f"shard_{key}"] = value
+            for key, value in shard_engine.cache_info().items():
+                stats[f"sharded_{key}"] = float(value)
         for name, value in self.planner.statistics().items():
             stats[f"planner_{name}"] = value
         for name, engine in self._engines.items():

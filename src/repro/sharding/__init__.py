@@ -1,0 +1,27 @@
+"""Community-partitioned sharding with boundary summaries.
+
+The layer splits one :class:`~repro.graph.social_graph.SocialGraph` into
+per-community shard mirrors (:class:`ShardedGraph`, placed by the
+deterministic :class:`CommunityPartitioner`), executes every query shape
+shard-locally with message-shaped cross-shard escalation
+(:class:`ShardRouter`, pruned by :class:`BoundarySummary`), and serves the
+persisted shards from cooperating worker processes over shared mmapped
+pages (:class:`ShardServingPool`).
+"""
+
+from repro.sharding.multiproc import ShardServingPool
+from repro.sharding.partitioner import CommunityPartitioner, Partition
+from repro.sharding.router import ShardRouter, ShardSweepPlan
+from repro.sharding.shard import GHOST_ATTR, ShardedGraph
+from repro.sharding.summary import BoundarySummary
+
+__all__ = [
+    "GHOST_ATTR",
+    "BoundarySummary",
+    "CommunityPartitioner",
+    "Partition",
+    "ShardRouter",
+    "ShardServingPool",
+    "ShardSweepPlan",
+    "ShardedGraph",
+]

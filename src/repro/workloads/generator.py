@@ -15,6 +15,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.generators import (
     LabelDistribution,
+    community_graph,
     forest_fire_graph,
     preferential_attachment_graph,
     random_graph,
@@ -66,6 +67,7 @@ GRAPH_FAMILIES: Dict[str, Callable[..., SocialGraph]] = {
     "barabasi-albert": preferential_attachment_graph,
     "watts-strogatz": small_world_graph,
     "forest-fire": forest_fire_graph,
+    "planted-partition": community_graph,
 }
 
 

@@ -1,0 +1,120 @@
+"""Guard-tripped sharded sweeps: partial provenance, unpoisoned memos.
+
+Closes the test gap called out for the sharding layer: when a
+:class:`~repro.reliability.QueryGuard` budget runs out *mid-fanout* — some
+shards drained, others still holding worklist — the degraded answer must
+
+* report ``partial=True`` exactly like the single-process sweeps,
+* carry per-shard provenance on the executed plan
+  (:attr:`~repro.sharding.ShardSweepPlan.partial_shards` names the shards
+  whose sweeps were cut short), and
+* never enter any memo: re-running the same query at the same graph epoch
+  with the budget lifted must produce the complete answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.policy.path_expression import PathExpression
+from repro.reachability.bfs import OnlineBFSEvaluator
+from repro.reachability.engine import ReachabilityEngine
+from repro.reliability import QueryGuard
+from repro.service import GraphService
+from repro.sharding import ShardRouter, ShardSweepPlan, ShardedGraph
+
+RING = 40
+EXPR = f"friend+[1,{RING - 1}]"
+
+
+def ring_graph() -> SocialGraph:
+    graph = SocialGraph(name="guarded-ring")
+    for i in range(RING):
+        graph.add_user(f"u{i}")
+    for i in range(RING):
+        graph.add_relationship(f"u{i}", f"u{(i + 1) % RING}", "friend")
+    return graph
+
+
+def test_tripped_fanout_reports_partial_shards():
+    graph = ring_graph()
+    router = ShardRouter(ShardedGraph(graph, shards=4, seed=11))
+    expression = PathExpression.parse(EXPR)
+    guard = QueryGuard(max_steps=5)
+    with guard.scope(QueryGuard.PARTIAL):
+        audiences, plan = router.sweep_targets_many(["u0"], expression)
+    assert guard.tripped
+    assert isinstance(plan, ShardSweepPlan)
+    assert plan.partial_shards != ()
+    assert all(0 <= shard < 4 for shard in plan.partial_shards)
+    full = OnlineBFSEvaluator(graph).find_targets("u0", expression)
+    assert audiences["u0"] < full  # a strict under-approximation
+    # The same router, unguarded, completes — no partial state lingers.
+    complete, plan = router.sweep_targets_many(["u0"], expression)
+    assert plan.partial_shards == ()
+    assert complete["u0"] == full
+
+
+def test_partial_sharded_sweeps_never_enter_the_engine_memo():
+    graph = ring_graph()
+    router = ShardRouter(ShardedGraph(graph, shards=4, seed=11))
+    engine = ReachabilityEngine(graph, router, cache_size=128)
+    guard = QueryGuard(max_steps=5)
+    with guard.scope(QueryGuard.PARTIAL):
+        truncated, _plan = engine.sweep_targets_many(["u0"], EXPR)
+    # Same epoch, budget lifted: a poisoned memo would replay the stub.
+    complete, _plan = engine.sweep_targets_many(["u0"], EXPR)
+    assert len(complete["u0"]) == RING - 1
+    assert truncated["u0"] < complete["u0"]
+
+
+def test_service_partial_carries_shard_provenance():
+    guard = QueryGuard(max_steps=5)
+    service = GraphService(ring_graph(), shards=4, query_guard=guard)
+    result = service.audience(["u0"], EXPR, backend="sharded")
+    assert result.partial
+    assert service.queries_degraded == 1
+    assert result.plan.backend == "sharded"
+    assert isinstance(result.sweep_plan, ShardSweepPlan)
+    assert result.sweep_plan.partial_shards != ()
+    guard.max_steps = None  # operator lifts the budget at runtime
+    full = service.audience(["u0"], EXPR, backend="sharded")
+    assert not full.partial
+    assert full.sweep_plan.partial_shards == ()
+    assert len(full.audiences["u0"]) == RING - 1
+    assert result.audiences["u0"] < full.audiences["u0"]
+
+
+def test_service_bulk_access_partial_over_shards():
+    from repro.policy.store import PolicyStore
+
+    graph = ring_graph()
+    store = PolicyStore()
+    store.share("u0", "album", kind="photos")
+    store.allow("album", EXPR)
+    guard = QueryGuard(max_steps=5)
+    service = GraphService(graph, store, shards=4, query_guard=guard)
+    result = service.bulk_access(["album"], backend="sharded")
+    assert result.partial
+    plans = [
+        plan
+        for plan in result.sweep_plans.values()
+        if isinstance(plan, ShardSweepPlan)
+    ]
+    assert plans and any(plan.partial_shards != () for plan in plans)
+    guard.max_steps = None
+    full = service.bulk_access(["album"], backend="sharded")
+    assert not full.partial
+    assert result["album"] <= full["album"]
+
+
+def test_reach_raises_in_default_mode_over_shards():
+    service = GraphService(
+        ring_graph(), shards=4, query_guard=QueryGuard(max_steps=3)
+    )
+    from repro.exceptions import QueryBudgetExceeded
+
+    with pytest.raises(QueryBudgetExceeded):
+        service.reach("u0", "u30", EXPR, collect_witness=False, backend="sharded")
+    assert service.statistics()["guard_trips"] == 1.0

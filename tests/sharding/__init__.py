@@ -1,0 +1,1 @@
+"""Tests for the community-partitioned sharding layer."""

@@ -1,0 +1,53 @@
+"""Partitioner properties: deterministic, total, community-respecting."""
+
+from __future__ import annotations
+
+from repro.graph.compiled import compile_graph
+from repro.graph.generators import community_graph
+from repro.sharding import CommunityPartitioner
+
+
+def test_partition_is_deterministic_and_total():
+    graph = community_graph(80, communities=4, seed=9)
+    snapshot = compile_graph(graph)
+    first = CommunityPartitioner(4, seed=7).partition(snapshot)
+    second = CommunityPartitioner(4, seed=7).partition(snapshot)
+    assert first.shard_of == second.shard_of
+    assert first.community_of == second.community_of
+    assert set(first.shard_of) == set(graph.users())
+    assert set(first.shard_of.values()) <= set(range(4))
+
+
+def test_communities_stay_whole():
+    """Label propagation assigns one shard per community, never splitting."""
+    graph = community_graph(
+        60, communities=3, intra_edges_per_node=4, inter_fraction=0.02, seed=2
+    )
+    snapshot = compile_graph(graph)
+    partition = CommunityPartitioner(2, seed=7).partition(snapshot)
+    shard_by_community = {}
+    for user, community in partition.community_of.items():
+        shard_by_community.setdefault(community, partition.shard_of[user])
+        assert shard_by_community[community] == partition.shard_of[user]
+
+
+def test_packing_is_balanced_with_many_communities():
+    graph = community_graph(120, communities=12, inter_fraction=0.05, seed=5)
+    snapshot = compile_graph(graph)
+    partition = CommunityPartitioner(4, seed=7).partition(snapshot)
+    sizes = partition.shard_sizes()
+    assert len(sizes) == 4
+    assert min(sizes) > 0
+    # LPT packing over many similar communities stays within a factor of ~2.
+    assert max(sizes) <= 2 * min(sizes)
+    assert sorted(
+        user
+        for shard in range(4)
+        for user in partition.members(shard)
+    ) == sorted(partition.shard_of)
+
+
+def test_shard_count_one_collapses_to_a_single_shard():
+    graph = community_graph(30, communities=3, seed=1)
+    partition = CommunityPartitioner(1).partition(compile_graph(graph))
+    assert set(partition.shard_of.values()) == {0}
