@@ -21,6 +21,9 @@ The library has these layers (see docs/architecture.md for how they fit):
 * :mod:`repro.service` — the stable public surface: typed queries, the
   query planner (per-query backend auto-selection), plan-carrying results
   and the :class:`~repro.service.GraphService` session facade.
+* :mod:`repro.serving` — the asyncio serving front end: request
+  coalescing, per-tenant sessions, admission control with deadlines, and
+  the JSON-lines TCP protocol server (``python -m repro.serving``).
 * :mod:`repro.reliability` — deterministic fault injection over the
   snapshot I/O seam, the crash-consistency simulator, query budgets
   (:class:`~repro.reliability.QueryGuard`) and the index-maintenance
@@ -94,12 +97,23 @@ from repro.service import (
     BackendEstimate,
     BulkAccessQuery,
     BulkAccessResult,
+    BulkReachResult,
     ExecutionPlan,
     GraphService,
     PlannedResult,
     QueryPlanner,
     ReachQuery,
     ReachResult,
+)
+from repro.serving import (
+    AdmissionController,
+    AdmissionRejected,
+    AsyncGraphClient,
+    RequestCoalescer,
+    ServingServer,
+    TenantRegistry,
+    TenantSession,
+    UnknownTenantError,
 )
 from repro.sharding import (
     BoundarySummary,
@@ -161,6 +175,16 @@ __all__ = [
     "AudienceResult",
     "AccessResult",
     "BulkAccessResult",
+    "BulkReachResult",
+    # serving (async front-end: coalescing, tenants, admission control)
+    "AdmissionController",
+    "AdmissionRejected",
+    "AsyncGraphClient",
+    "RequestCoalescer",
+    "ServingServer",
+    "TenantRegistry",
+    "TenantSession",
+    "UnknownTenantError",
     # reliability (fault injection, crash recovery, degradation)
     "CircuitBreaker",
     "CrashConsistencySimulator",

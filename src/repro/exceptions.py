@@ -201,6 +201,56 @@ class QueryBudgetExceeded(ReachabilityError):
 
 
 # ---------------------------------------------------------------------------
+# Serving front-end errors
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the async serving front-end."""
+
+
+class AdmissionRejected(ServingError):
+    """A request was refused at admission because the pending queue is full.
+
+    The serving layer bounds the number of admitted-but-unfinished requests
+    per tenant; past that bound, overload degrades to an immediate typed
+    rejection instead of unbounded queueing latency.  Carries the tenant,
+    the observed ``pending`` depth and the configured ``limit`` so clients
+    can implement informed backoff.
+    """
+
+    def __init__(self, tenant, pending: int, limit: int):
+        super().__init__(
+            f"tenant {tenant!r}: admission rejected, {pending} requests "
+            f"already pending (limit {limit})"
+        )
+        self.tenant = tenant
+        self.pending = pending
+        self.limit = limit
+
+
+class UnknownTenantError(ServingError, KeyError):
+    """A tenant id was referenced that is not registered with the serving layer."""
+
+    def __init__(self, tenant, available=()):
+        super().__init__(tenant)
+        self.tenant = tenant
+        self.available = tuple(available)
+
+    def __str__(self) -> str:
+        hint = (
+            f" (registered: {', '.join(map(repr, self.available))})"
+            if self.available
+            else ""
+        )
+        return f"unknown tenant {self.tenant!r}{hint}"
+
+
+class ProtocolError(ServingError, ValueError):
+    """A serving-protocol frame is malformed (bad JSON, missing fields...)."""
+
+
+# ---------------------------------------------------------------------------
 # Storage substrate errors
 # ---------------------------------------------------------------------------
 

@@ -28,7 +28,12 @@ from repro.reliability.crashsim import (
     snapshot_fingerprint,
 )
 from repro.reliability.faults import FAULT_KINDS, FaultInjector, SimulatedCrash
-from repro.reliability.guard import QueryGuard, active_guard
+from repro.reliability.guard import (
+    QueryGuard,
+    active_guard,
+    deadline_scope,
+    request_deadline,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -42,5 +47,7 @@ __all__ = [
     "SimulatedCrash",
     "SnapshotIOHooks",
     "active_guard",
+    "deadline_scope",
+    "request_deadline",
     "snapshot_fingerprint",
 ]

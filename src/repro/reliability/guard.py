@@ -33,16 +33,48 @@ from typing import Callable, Optional
 
 from repro.exceptions import QueryBudgetExceeded
 
-__all__ = ["QueryGuard", "active_guard"]
+__all__ = ["QueryGuard", "active_guard", "deadline_scope", "request_deadline"]
 
 _ACTIVE_GUARD: ContextVar[Optional["QueryGuard"]] = ContextVar(
     "repro_active_query_guard", default=None
+)
+
+#: Absolute per-request deadline (``time.monotonic`` timestamp) announced by
+#: the serving front-end for the duration of one request.  Guard scopes
+#: opened inside it tighten their own deadline to this one, so a request's
+#: admission deadline bounds *every* query executed on its behalf without
+#: the facade growing a ``deadline=`` parameter on each query path.
+_REQUEST_DEADLINE: ContextVar[Optional[float]] = ContextVar(
+    "repro_request_deadline", default=None
 )
 
 
 def active_guard() -> Optional["QueryGuard"]:
     """The guard governing the current query, or ``None`` (unguarded)."""
     return _ACTIVE_GUARD.get()
+
+
+def request_deadline() -> Optional[float]:
+    """The ambient per-request deadline, or ``None`` (no deadline announced)."""
+    return _REQUEST_DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[float]):
+    """Announce an absolute monotonic deadline for queries in this context.
+
+    The serving layer wraps each request's execution in one of these; every
+    :meth:`QueryGuard.scope` entered inside takes the *minimum* of its own
+    ``max_seconds`` deadline and the announced one.  ``None`` announces
+    nothing (useful to keep call sites unconditional).  Deadlines are
+    ``time.monotonic`` timestamps — a guard constructed with a custom clock
+    for tests should not be mixed with request deadlines.
+    """
+    token = _REQUEST_DEADLINE.set(deadline)
+    try:
+        yield
+    finally:
+        _REQUEST_DEADLINE.reset(token)
 
 
 class QueryGuard:
@@ -108,6 +140,13 @@ class QueryGuard:
         self._deadline = (
             self._clock() + self.max_seconds if self.max_seconds is not None else None
         )
+        requested = _REQUEST_DEADLINE.get()
+        if requested is not None:
+            # The serving front-end's per-request deadline tightens (never
+            # loosens) the guard's own per-query budget.
+            self._deadline = (
+                requested if self._deadline is None else min(self._deadline, requested)
+            )
         token = _ACTIVE_GUARD.set(self)
         try:
             yield self

@@ -42,6 +42,7 @@ from repro.service.results import (
     AccessResult,
     AudienceResult,
     BulkAccessResult,
+    BulkReachResult,
     PlannedResult,
     ReachResult,
 )
@@ -61,4 +62,5 @@ __all__ = [
     "AudienceResult",
     "AccessResult",
     "BulkAccessResult",
+    "BulkReachResult",
 ]

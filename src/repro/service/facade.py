@@ -28,9 +28,20 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import replace
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.exceptions import UnknownBackendError
+from repro.exceptions import NodeNotFoundError, UnknownBackendError
 from repro.graph.compiled import _SNAPSHOT_ATTR, CompiledGraph, compile_graph
 from repro.graph.snapshot import SnapshotStore
 from repro.graph.social_graph import SocialGraph
@@ -57,6 +68,7 @@ from repro.service.results import (
     AccessResult,
     AudienceResult,
     BulkAccessResult,
+    BulkReachResult,
     ReachResult,
 )
 
@@ -209,6 +221,10 @@ class GraphService:
         # engine() — that path enforces index freshness and would rebuild a
         # stale index backend just to parse text, behind the planner's back.
         self._parse_cache: Dict[str, PathExpression] = {}
+        # External observability providers (the serving layer registers its
+        # coalescer here); statistics() merges each provider's counters
+        # under its name prefix.
+        self._stats_providers: Dict[str, Callable[[], Mapping[str, float]]] = {}
 
     # ------------------------------------------------------------- registry
 
@@ -639,6 +655,93 @@ class GraphService:
             partial=partial,
         )
 
+    def reach_many(
+        self,
+        pairs: Iterable[Tuple[Hashable, Hashable]],
+        expression: Expression,
+        *,
+        direction: str = "auto",
+        backend: Optional[str] = None,
+    ) -> BulkReachResult:
+        """Answer many ``(source, target)`` reach questions in one shared sweep.
+
+        The coalescing-friendly bulk entry point: all pairs share one path
+        expression, the distinct sources run as owners of a single
+        multi-source owner-bitset sweep (one shared product walk instead of
+        one walk per pair), and each pair's verdict is membership of its
+        target in its source's swept audience — identical to the boolean of
+        :meth:`reach` with ``collect_witness=False``, differentially tested
+        in ``tests/serving``.  No witnesses are collected; pairs needing one
+        must go through :meth:`reach`.
+
+        Endpoints are validated up front (:class:`~repro.exceptions.
+        NodeNotFoundError`), matching what per-pair evaluation would raise.
+        Under an active :class:`~repro.reliability.guard.QueryGuard` the
+        sweep runs in partial mode: a tripped budget returns
+        ``partial=True`` and the mapping **under-approximates** — callers
+        needing exact point answers must re-ask per pair (the serving
+        coalescer does exactly that).
+        """
+        started = time.perf_counter()
+        self._tick()
+        expression = self._parse(expression)
+        snapshot = compile_graph(self.graph)
+        pair_list: List[Tuple[Hashable, Hashable]] = [
+            (source, target) for source, target in pairs
+        ]
+        for source, target in pair_list:
+            if not self.graph.has_user(source):
+                raise NodeNotFoundError(source)
+            if not self.graph.has_user(target):
+                raise NodeNotFoundError(target)
+        sources = list(dict.fromkeys(source for source, _target in pair_list))
+        pin = self._pin_of(backend)
+        shard_pin = pin == "sharded"
+        plan = self.planner.plan_audience(
+            snapshot,
+            expression,
+            len(sources),
+            backends=self._backends,
+            fresh=self._freshness(),
+            stability=self._stability,
+            pinned=None if shard_pin else pin,
+            direction=direction,
+            shards=self._plan_shards(pin),
+            shard_cross_rate=self._shard_cross_rate(),
+        )
+        if shard_pin:
+            plan = self._force_sharded(plan)
+        if plan.route == "sharded":
+            _router, engine, _access = self._shard_runtime()
+            plan = replace(plan, backend="sharded")
+        else:
+            engine, plan = self._engine_for_plan(plan)
+        with self._guard_scope(QueryGuard.PARTIAL):
+            audiences, sweep_plan = engine.sweep_targets_many(
+                sources, expression, direction=direction
+            )
+        partial = self.query_guard is not None and self.query_guard.tripped
+        if partial:
+            self.queries_degraded += 1
+        elif audiences:
+            # Same cardinality feedback as the audience path: this *is* an
+            # audience materialization, so the mean unreached share is one
+            # fractional sample for the expression.
+            live = max(1, snapshot.number_of_live_nodes())
+            covered = sum(len(a) for a in audiences.values()) / len(audiences)
+            self._observe_rate(expression.to_text(), 1.0 - covered / live)
+        reachable = {
+            (source, target): target in audiences.get(source, ())
+            for source, target in pair_list
+        }
+        return BulkReachResult(
+            plan=plan,
+            elapsed_seconds=time.perf_counter() - started,
+            reachable=reachable,
+            sweep_plan=sweep_plan,
+            partial=partial,
+        )
+
     def _execute_access(self, query: AccessQuery) -> AccessResult:
         started = time.perf_counter()
         self._tick()
@@ -835,6 +938,22 @@ class GraphService:
 
     # ---------------------------------------------------------------- stats
 
+    def register_statistics_provider(
+        self, name: str, provider: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Attach an external counter source to :meth:`statistics`.
+
+        The serving layer registers its coalescer here (batch-size histogram
+        buckets, fallback counts); each call to :meth:`statistics` merges
+        the provider's mapping under ``<name>_<key>``.  Re-registering a
+        name replaces the provider.
+        """
+        self._stats_providers[name] = provider
+
+    def unregister_statistics_provider(self, name: str) -> None:
+        """Detach a provider registered by :meth:`register_statistics_provider`."""
+        self._stats_providers.pop(name, None)
+
     def statistics(self) -> Dict[str, float]:
         """Service-level counters plus planner and per-backend statistics."""
         stats: Dict[str, float] = {
@@ -891,6 +1010,9 @@ class GraphService:
             stats[f"planner_{name}"] = value
         for name, engine in self._engines.items():
             for key, value in engine.cache_info().items():
+                stats[f"{name}_{key}"] = float(value)
+        for name, provider in self._stats_providers.items():
+            for key, value in provider().items():
                 stats[f"{name}_{key}"] = float(value)
         return stats
 

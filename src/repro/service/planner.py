@@ -734,9 +734,16 @@ class QueryPlanner:
     # ---------------------------------------------------------------- stats
 
     def statistics(self) -> Dict[str, float]:
-        """Planner observability counters (computed vs cache-served plans)."""
+        """Planner observability counters (computed vs cache-served plans).
+
+        ``plan_cache_hits`` / ``plan_cache_misses`` spell the same two
+        counters in cache vocabulary: a cache-served plan is a hit, a
+        computed plan is a miss (every plan is exactly one of the two).
+        """
         return {
             "plans_computed": float(self.plans_computed),
             "plans_cached": float(self.plans_cached),
             "plan_cache_entries": float(len(self._cache)),
+            "plan_cache_hits": float(self.plans_cached),
+            "plan_cache_misses": float(self.plans_computed),
         }

@@ -12,7 +12,7 @@ call's plan — is structurally impossible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping, Optional, Set
+from typing import Hashable, Mapping, Optional, Set, Tuple
 
 from repro.graph.paths import Path
 from repro.policy.decisions import AccessDecision
@@ -25,6 +25,7 @@ __all__ = [
     "AudienceResult",
     "AccessResult",
     "BulkAccessResult",
+    "BulkReachResult",
 ]
 
 
@@ -105,6 +106,35 @@ class AccessResult(PlannedResult):
     def explain(self) -> str:
         """The decision's human-readable explanation."""
         return self.decision.explain()
+
+
+@dataclass(frozen=True)
+class BulkReachResult(PlannedResult):
+    """Answer to :meth:`~repro.service.GraphService.reach_many`.
+
+    ``reachable`` maps each requested ``(source, target)`` pair to its
+    verdict; all pairs sharing one expression are answered from a single
+    multi-source owner-bitset sweep over the distinct sources (the serving
+    coalescer's bulk entry point).  No witnesses are collected — a pair's
+    verdict is audience membership, not a path.  ``partial`` is ``True``
+    when a query-guard budget tripped mid-sweep: the mapping then
+    *under-approximates* (``False`` entries are inconclusive) and callers
+    must treat the whole result as unusable for point answers — the serving
+    coalescer falls back to per-request execution in that case.
+    """
+
+    reachable: Mapping[Tuple[Hashable, Hashable], bool] = field(default_factory=dict)
+    sweep_plan: Optional[SweepPlan] = None
+    partial: bool = False
+
+    def __getitem__(self, pair: Tuple[Hashable, Hashable]) -> bool:
+        return self.reachable[pair]
+
+    def __iter__(self):
+        return iter(self.reachable)
+
+    def __len__(self) -> int:
+        return len(self.reachable)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,90 @@
+"""The serving wire protocol: JSON-lines frames over a byte stream.
+
+Stdlib-only and deliberately small.  One frame per line (``\\n``
+terminated, UTF-8 JSON object).  Requests carry ``id`` (echoed verbatim
+on the response — responses may arrive out of order), ``op`` and
+op-specific fields; responses are either::
+
+    {"id": ..., "ok": true,  "result": {...}}
+    {"id": ..., "ok": false, "error": {"type": "...", "message": "..."}}
+
+``error.type`` is the exception class name (``AdmissionRejected``,
+``QueryBudgetExceeded``, ``NodeNotFoundError``, ``UnknownTenantError``,
+``ProtocolError``, ...), so clients can switch on it without parsing
+messages.  The full frame reference lives in ``docs/serving_protocol.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "jsonable",
+    "result_frame",
+]
+
+#: Upper bound on one encoded frame (requests beyond it are refused with a
+#: :class:`ProtocolError` instead of buffering without limit).
+MAX_FRAME_BYTES = 1 << 20
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert a result value into JSON-encodable form.
+
+    Sets (audiences) become **sorted** lists so frames are deterministic;
+    tuples become lists; mapping keys are stringified.  Anything already
+    JSON-native passes through; other objects fall back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonable(item) for item in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame to its wire form (compact JSON + newline)."""
+    return (
+        json.dumps(jsonable(frame), separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict, or raise ProtocolError."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        frame = json.loads(text)
+    except ValueError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return frame
+
+
+def result_frame(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the success response for one request id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(request_id: Any, error: BaseException) -> Dict[str, Any]:
+    """Build the structured error response for one request id."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }

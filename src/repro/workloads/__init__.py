@@ -1,7 +1,12 @@
 """Benchmark-harness support: workload generation, the service-driven replay
 driver, query mixes, scenarios, metrics."""
 
-from repro.workloads.driver import WorkloadReport, install_policies, run_workload
+from repro.workloads.driver import (
+    WorkloadReport,
+    install_policies,
+    open_loop_arrivals,
+    run_workload,
+)
 from repro.workloads.generator import (
     GRAPH_FAMILIES,
     Workload,
@@ -21,6 +26,7 @@ from repro.workloads.scenarios import SCENARIOS, Scenario, scenario, scenario_na
 __all__ = [
     "WorkloadReport",
     "install_policies",
+    "open_loop_arrivals",
     "run_workload",
     "GRAPH_FAMILIES",
     "Workload",

@@ -19,6 +19,7 @@ per-phase wall-clock seconds and how many queries each backend executed
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -26,7 +27,37 @@ from typing import Dict, List, Optional
 from repro.service.facade import GraphService
 from repro.workloads.generator import Workload, apply_churn_op
 
-__all__ = ["WorkloadReport", "install_policies", "run_workload"]
+__all__ = [
+    "WorkloadReport",
+    "install_policies",
+    "open_loop_arrivals",
+    "run_workload",
+]
+
+
+def open_loop_arrivals(count: int, rate: float, *, seed: int = 7) -> List[float]:
+    """Seeded Poisson-process arrival offsets for an open-loop load driver.
+
+    Returns ``count`` monotonically increasing offsets (seconds from the
+    start of the run) whose inter-arrival gaps are exponentially
+    distributed with mean ``1 / rate`` — a Poisson arrival process.  An
+    **open-loop** driver issues request *i* at its scheduled offset whether
+    or not earlier requests have completed, so a slow server accumulates
+    queue depth instead of silently throttling the workload (the failure
+    mode closed-loop replay hides, and the regime admission control
+    exists for).  Deterministic for a given ``(count, rate, seed)``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in range(count):
+        clock += rng.expovariate(rate)
+        offsets.append(clock)
+    return offsets
 
 
 @dataclass

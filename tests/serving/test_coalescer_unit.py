@@ -1,0 +1,163 @@
+"""Unit behavior of the generic RequestCoalescer (no graph involved)."""
+
+import asyncio
+
+import pytest
+
+from repro.serving.coalescer import Raised, RequestCoalescer
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _echo_runner(calls):
+    async def runner(key, requests):
+        calls.append((key, list(requests)))
+        return [f"{key}:{request}" for request in requests]
+
+    return runner
+
+
+def test_concurrent_same_key_requests_share_one_batch():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=0.05, max_batch=8)
+        return await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(5))
+        )
+
+    results = _run(main())
+    assert results == [f"k:{i}" for i in range(5)]
+    assert len(calls) == 1 and len(calls[0][1]) == 5
+
+
+def test_distinct_keys_batch_separately():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=0.05)
+        return await asyncio.gather(
+            coalescer.submit("a", 1), coalescer.submit("b", 2)
+        )
+
+    assert _run(main()) == ["a:1", "b:2"]
+    assert sorted(key for key, _ in calls) == ["a", "b"]
+
+
+def test_zero_window_degrades_to_request_at_a_time():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=0.0)
+        return await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(4))
+        )
+
+    _run(main())
+    assert len(calls) == 4
+    assert all(len(batch) == 1 for _key, batch in calls)
+
+
+def test_max_batch_cap_flushes_early():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=5.0, max_batch=3)
+        return await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(7))
+        )
+
+    _run(main())  # completes promptly despite the 5s window: caps flush
+    sizes = sorted(len(batch) for _key, batch in calls)
+    assert sizes == [1, 3, 3]
+
+
+def test_raised_outcome_targets_only_its_request():
+    async def runner(key, requests):
+        return [
+            Raised(ValueError(f"bad {request}")) if request % 2 else request
+            for request in requests
+        ]
+
+    async def main():
+        coalescer = RequestCoalescer(runner, window=0.05)
+        return await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(4)),
+            return_exceptions=True,
+        )
+
+    even_a, odd_a, even_b, odd_b = _run(main())
+    assert even_a == 0 and even_b == 2
+    assert isinstance(odd_a, ValueError) and isinstance(odd_b, ValueError)
+
+
+def test_runner_exception_fans_out_to_every_member():
+    async def runner(key, requests):
+        raise RuntimeError("backend exploded")
+
+    async def main():
+        coalescer = RequestCoalescer(runner, window=0.05)
+        outcomes = await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(3)),
+            return_exceptions=True,
+        )
+        return outcomes, coalescer
+
+    outcomes, coalescer = _run(main())
+    assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+    assert coalescer.runner_failures == 1
+
+
+def test_mismatched_outcome_count_is_a_runner_failure():
+    async def runner(key, requests):
+        return ["only-one"]
+
+    async def main():
+        coalescer = RequestCoalescer(runner, window=0.05)
+        return await asyncio.gather(
+            *(coalescer.submit("k", i) for i in range(2)),
+            return_exceptions=True,
+        )
+
+    outcomes = _run(main())
+    assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+
+
+def test_statistics_and_histogram_buckets():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=0.05, max_batch=8)
+        await asyncio.gather(*(coalescer.submit("k", i) for i in range(5)))
+        await coalescer.submit("solo", 99)
+        return coalescer
+
+    coalescer = _run(main())
+    stats = coalescer.statistics()
+    assert stats["requests_submitted"] == 6.0
+    assert stats["requests_coalesced"] == 5.0
+    assert stats["batches_executed"] == 2.0
+    assert stats["batch_le_1"] == 1.0  # the solo batch
+    assert stats["batch_le_8"] == 1.0  # the 5-wide batch
+    assert stats["open_batches"] == 0.0
+
+
+def test_invalid_max_batch():
+    with pytest.raises(ValueError):
+        RequestCoalescer(_echo_runner([]), max_batch=0)
+
+
+def test_drain_flushes_open_batches():
+    calls = []
+
+    async def main():
+        coalescer = RequestCoalescer(_echo_runner(calls), window=30.0)
+        pending = asyncio.ensure_future(coalescer.submit("k", 1))
+        await asyncio.sleep(0)  # the batch is open, timer far in the future
+        await coalescer.drain()
+        return await pending
+
+    assert _run(main()) == "k:1"
+    assert len(calls) == 1

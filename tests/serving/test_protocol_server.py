@@ -1,0 +1,203 @@
+"""Wire protocol framing and the asyncio TCP server, end to end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    jsonable,
+    result_frame,
+)
+from repro.serving.server import ServingServer
+from repro.serving.session import TenantRegistry
+from repro.workloads import WorkloadSpec, build_workload, install_policies
+
+# ------------------------------------------------------------------ protocol
+
+
+def test_jsonable_sorts_sets_deterministically():
+    assert jsonable({"aud": {"b", "a", "c"}}) == {"aud": ["a", "b", "c"]}
+    assert jsonable((1, 2, {"x"})) == [1, 2, ["x"]]
+    assert jsonable({1: "a"}) == {"1": "a"}
+
+
+def test_encode_decode_round_trip():
+    frame = {"id": 7, "op": "check", "tenant": "t", "nested": {"s": {"x", "y"}}}
+    line = encode_frame(frame)
+    assert line.endswith(b"\n")
+    decoded = decode_frame(line)
+    assert decoded["id"] == 7 and decoded["nested"]["s"] == ["x", "y"]
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"", b"   \n", b"not json\n", b"[1, 2]\n", b'"just a string"\n'],
+)
+def test_decode_rejects_malformed_frames(line):
+    with pytest.raises(ProtocolError):
+        decode_frame(line)
+
+
+def test_decode_rejects_oversized_frames():
+    with pytest.raises(ProtocolError):
+        decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_result_and_error_frames():
+    assert result_frame(3, {"pong": True}) == {
+        "id": 3,
+        "ok": True,
+        "result": {"pong": True},
+    }
+    frame = error_frame("abc", ProtocolError("bad"))
+    assert frame == {
+        "id": "abc",
+        "ok": False,
+        "error": {"type": "ProtocolError", "message": "bad"},
+    }
+
+
+# -------------------------------------------------------------------- server
+
+
+def _registry():
+    registry = TenantRegistry(window=0.02)
+    workload = build_workload(WorkloadSpec(users=80, seed=5))
+    session = registry.create("t0", workload.graph)
+    install_policies(session.service, workload)
+    return registry, workload
+
+
+async def _request_all(host, port, frames, extra_lines=()):
+    reader, writer = await asyncio.open_connection(host, port)
+    for frame in frames:
+        writer.write((json.dumps(frame) + "\n").encode())
+    for line in extra_lines:
+        writer.write(line)
+    await writer.drain()
+    responses = {}
+    for _ in range(len(frames) + len(extra_lines)):
+        line = await asyncio.wait_for(reader.readline(), 10)
+        response = json.loads(line)
+        responses[response["id"]] = response
+    writer.close()
+    return responses
+
+
+def test_server_end_to_end():
+    registry, workload = _registry()
+    users = sorted(workload.graph.users())
+    requester, resource_id = workload.requests[0]
+
+    async def main():
+        server = ServingServer(registry)
+        host, port = await server.start()
+        frames = [
+            {"id": 0, "op": "ping"},
+            {
+                "id": 1,
+                "op": "reach",
+                "tenant": "t0",
+                "source": users[0],
+                "target": users[1],
+                "expression": "friend+[1,2]",
+            },
+            {
+                "id": 2,
+                "op": "audience",
+                "tenant": "t0",
+                "owner": users[0],
+                "expression": "friend+[1]",
+            },
+            {
+                "id": 3,
+                "op": "check",
+                "tenant": "t0",
+                "requester": requester,
+                "resource": resource_id,
+            },
+            {"id": 4, "op": "stats", "tenant": "t0"},
+            {"id": 5, "op": "stats"},
+            {"id": 6, "op": "check", "tenant": "ghost", "requester": "x", "resource": "y"},
+            {"id": 7, "op": "frobnicate"},
+            {"id": 8, "op": "reach", "tenant": "t0", "source": users[0]},
+        ]
+        responses = await _request_all(
+            host, port, frames, extra_lines=[b"definitely not json\n"]
+        )
+        await server.stop()
+        return responses
+
+    responses = asyncio.run(main())
+    assert responses[0]["result"] == {"pong": True}
+    assert isinstance(responses[1]["result"]["reachable"], bool)
+    assert isinstance(responses[2]["result"]["audience"], list)
+    assert responses[2]["result"]["audience"] == sorted(
+        responses[2]["result"]["audience"]
+    )
+    assert isinstance(responses[3]["result"]["granted"], bool)
+    assert responses[4]["result"]["statistics"]["coalescer_requests_submitted"] >= 3
+    assert "_totals" in responses[5]["result"]["statistics"]
+    assert responses[6] == {
+        "id": 6,
+        "ok": False,
+        "error": {
+            "type": "UnknownTenantError",
+            "message": responses[6]["error"]["message"],
+        },
+    }
+    assert responses[7]["error"]["type"] == "ProtocolError"
+    assert responses[8]["error"]["type"] == "ProtocolError"
+    assert "source" not in responses[8]["error"]["message"]
+    assert "target" in responses[8]["error"]["message"]
+    assert responses[None]["error"]["type"] == "ProtocolError"
+
+
+def test_server_coalesces_concurrent_frames_on_one_connection():
+    registry, workload = _registry()
+    users = sorted(workload.graph.users())
+
+    async def main():
+        server = ServingServer(registry)
+        host, port = await server.start()
+        frames = [
+            {
+                "id": i,
+                "op": "reach",
+                "tenant": "t0",
+                "source": users[i],
+                "target": users[(i + 7) % 16],
+                "expression": "friend+[1,2]",
+            }
+            for i in range(16)
+        ]
+        responses = await _request_all(host, port, frames)
+        await server.stop()
+        return responses
+
+    responses = asyncio.run(main())
+    batch_sizes = [responses[i]["result"]["batch_size"] for i in range(16)]
+    assert max(batch_sizes) >= 2
+    assert any(responses[i]["result"]["coalesced"] for i in range(16))
+
+
+def test_server_request_id_echo_allows_out_of_order():
+    registry, _workload = _registry()
+
+    async def main():
+        server = ServingServer(registry)
+        host, port = await server.start()
+        frames = [{"id": f"req-{i}", "op": "ping"} for i in range(5)]
+        responses = await _request_all(host, port, frames)
+        await server.stop()
+        return responses
+
+    responses = asyncio.run(main())
+    assert set(responses) == {f"req-{i}" for i in range(5)}
+    assert all(response["ok"] for response in responses.values())

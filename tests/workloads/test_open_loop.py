@@ -1,0 +1,38 @@
+"""The seeded open-loop Poisson arrival schedule."""
+
+import pytest
+
+from repro.workloads import open_loop_arrivals
+
+
+def test_deterministic_for_a_seed():
+    assert open_loop_arrivals(50, 100.0, seed=3) == open_loop_arrivals(
+        50, 100.0, seed=3
+    )
+    assert open_loop_arrivals(50, 100.0, seed=3) != open_loop_arrivals(
+        50, 100.0, seed=4
+    )
+
+
+def test_offsets_are_positive_and_strictly_increasing():
+    offsets = open_loop_arrivals(200, 50.0, seed=7)
+    assert len(offsets) == 200
+    assert offsets[0] > 0.0
+    assert all(a < b for a, b in zip(offsets, offsets[1:]))
+
+
+def test_mean_interarrival_matches_rate():
+    rate = 200.0
+    offsets = open_loop_arrivals(5000, rate, seed=11)
+    mean_gap = offsets[-1] / len(offsets)
+    assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+
+def test_empty_schedule():
+    assert open_loop_arrivals(0, 10.0) == []
+
+
+@pytest.mark.parametrize("count,rate", [(-1, 10.0), (10, 0.0), (10, -5.0)])
+def test_invalid_parameters(count, rate):
+    with pytest.raises(ValueError):
+        open_loop_arrivals(count, rate)

@@ -39,6 +39,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 import repro  # noqa: E402  (path bootstrap above)
 from repro.service import facade, planner, queries, results  # noqa: E402
+from repro.serving import session as serving_session  # noqa: E402
 
 #: The dataclasses whose field lists are part of the stable surface.
 DATACLASSES = [
@@ -51,8 +52,12 @@ DATACLASSES = [
     results.AudienceResult,
     results.AccessResult,
     results.BulkAccessResult,
+    results.BulkReachResult,
     planner.ExecutionPlan,
     planner.BackendEstimate,
+    serving_session.ServedReach,
+    serving_session.ServedAudience,
+    serving_session.ServedAccess,
 ]
 
 
